@@ -1,0 +1,295 @@
+(* The command-line driver — the role of `futil` (compiler) and `fud`
+   (tool driver) from the paper's artifact.
+
+   Subcommands:
+     compile    compile a Calyx source file and print Calyx or SystemVerilog
+     interp     run a structured Calyx program with the reference interpreter
+     sim        compile a Calyx program and run the flat simulator
+     dahlia     compile a Dahlia program (optionally run it)
+     systolic   generate (and optionally run) a systolic array
+     polybench  run PolyBench kernels and report cycles/area
+     stats      compilation statistics for a design (Section 7.4) *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared options                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let config_term =
+  let no_static =
+    Arg.(value & flag & info [ "no-static" ] ~doc:"Disable latency-sensitive compilation (the Sensitive pass).")
+  in
+  let no_infer =
+    Arg.(value & flag & info [ "no-infer" ] ~doc:"Disable latency inference.")
+  in
+  let no_resource =
+    Arg.(value & flag & info [ "no-resource-sharing" ] ~doc:"Disable resource sharing.")
+  in
+  let no_register =
+    Arg.(value & flag & info [ "no-register-sharing" ] ~doc:"Disable register sharing.")
+  in
+  let make ns ni nr nreg =
+    {
+      Calyx.Pipelines.static_timing = not ns;
+      infer_latency = not ni;
+      resource_sharing = not nr;
+      register_sharing = not nreg;
+    }
+  in
+  Term.(const make $ no_static $ no_infer $ no_resource $ no_register)
+
+let emit_term =
+  Arg.(
+    value
+    & opt (enum [ ("calyx", `Calyx); ("verilog", `Verilog) ]) `Calyx
+    & info [ "emit" ] ~docv:"FORMAT" ~doc:"Output format: calyx or verilog.")
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Input source file.")
+
+let mems_term =
+  Arg.(
+    value & opt_all string []
+    & info [ "mem" ] ~docv:"NAME=V,V,..."
+        ~doc:"Initialize an external memory, e.g. --mem m0=1,2,3,4. Repeatable.")
+
+let parse_mem_flag s =
+  match String.index_opt s '=' with
+  | None -> failwith ("bad --mem argument: " ^ s)
+  | Some i ->
+      let name = String.sub s 0 i in
+      let values =
+        String.split_on_char ',' (String.sub s (i + 1) (String.length s - i - 1))
+        |> List.filter (fun v -> String.trim v <> "")
+        |> List.map int_of_string
+      in
+      (name, values)
+
+let load_mems sim flags =
+  List.iter
+    (fun flag ->
+      let name, values = parse_mem_flag flag in
+      let current = Calyx_sim.Sim.read_memory sim name in
+      let width =
+        if Array.length current = 0 then 32
+        else Calyx.Bitvec.width current.(0)
+      in
+      Calyx_sim.Sim.write_memory_ints sim name ~width values)
+    flags
+
+let dump_externals sim =
+  List.iter
+    (fun name ->
+      let values = Calyx_sim.Sim.read_memory_ints sim name in
+      Printf.printf "%s = [%s]\n" name
+        (String.concat "; " (List.map string_of_int values)))
+    (Calyx_sim.Sim.external_memories sim)
+
+let handle_errors f =
+  try
+    f ();
+    0
+  with
+  | Calyx.Well_formed.Malformed errs ->
+      List.iter (Printf.eprintf "error: %s\n") errs;
+      1
+  | Calyx.Parser.Parse_error msg
+  | Calyx.Lexer.Lex_error msg
+  | Calyx.Ir.Ir_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      1
+  | Dahlia.Parser.Parse_error msg
+  | Dahlia.Typecheck.Type_error msg
+  | Dahlia.Lowering.Lowering_error msg
+  | Dahlia.To_calyx.Backend_error msg ->
+      Printf.eprintf "dahlia error: %s\n" msg;
+      1
+  | Calyx_sim.Sim.Conflict msg | Calyx_sim.Sim.Unstable msg ->
+      Printf.eprintf "simulation error: %s\n" msg;
+      1
+  | Calyx_sim.Sim.Timeout n ->
+      Printf.eprintf "simulation error: no completion within %d cycles\n" n;
+      1
+
+let output ctx = function
+  | `Calyx -> print_string (Calyx.Printer.to_string ctx)
+  | `Verilog -> print_string (Calyx_verilog.Verilog.emit ctx)
+
+(* ------------------------------------------------------------------ *)
+(* Subcommands                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let compile_cmd =
+  let run file config emit =
+    handle_errors (fun () ->
+        let ctx = Calyx.Parser.parse_file file in
+        let lowered = Calyx.Pipelines.compile ~config ctx in
+        output lowered emit)
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile a Calyx program to lowered Calyx or SystemVerilog.")
+    Term.(const run $ file_arg $ config_term $ emit_term)
+
+let interp_cmd =
+  let run file mems =
+    handle_errors (fun () ->
+        let ctx = Calyx.Parser.parse_file file in
+        Calyx.Well_formed.check ctx;
+        let sim = Calyx_sim.Sim.create ctx in
+        load_mems sim mems;
+        let cycles = Calyx_sim.Sim.run sim in
+        Printf.printf "cycles: %d\n" cycles;
+        dump_externals sim)
+  in
+  Cmd.v
+    (Cmd.info "interp" ~doc:"Execute a structured Calyx program with the reference interpreter.")
+    Term.(const run $ file_arg $ mems_term)
+
+let sim_cmd =
+  let run file config mems =
+    handle_errors (fun () ->
+        let ctx = Calyx.Parser.parse_file file in
+        let lowered = Calyx.Pipelines.compile ~config ctx in
+        let sim = Calyx_sim.Sim.create lowered in
+        load_mems sim mems;
+        let cycles = Calyx_sim.Sim.run sim in
+        Printf.printf "cycles: %d\n" cycles;
+        dump_externals sim)
+  in
+  Cmd.v
+    (Cmd.info "sim" ~doc:"Compile a Calyx program and run the cycle-accurate flat simulator.")
+    Term.(const run $ file_arg $ config_term $ mems_term)
+
+let dahlia_cmd =
+  let run file config emit execute mems =
+    handle_errors (fun () ->
+        let ic = open_in file in
+        let src = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        let ctx = Dahlia.To_calyx.compile (Dahlia.Parser.parse_string src) in
+        if execute then begin
+          let lowered = Calyx.Pipelines.compile ~config ctx in
+          let sim = Calyx_sim.Sim.create lowered in
+          load_mems sim mems;
+          let cycles = Calyx_sim.Sim.run sim in
+          Printf.printf "cycles: %d\n" cycles;
+          dump_externals sim
+        end
+        else output (Calyx.Pipelines.compile ~config ctx) emit)
+  in
+  let execute =
+    Arg.(value & flag & info [ "run" ] ~doc:"Compile and simulate instead of printing.")
+  in
+  Cmd.v
+    (Cmd.info "dahlia" ~doc:"Compile a Dahlia program to hardware via Calyx.")
+    Term.(const run $ file_arg $ config_term $ emit_term $ execute $ mems_term)
+
+let systolic_cmd =
+  let run rows cols depth config emit execute =
+    handle_errors (fun () ->
+        let d = { Systolic.rows; cols; depth; width = 32 } in
+        let ctx = Systolic.generate d in
+        if execute then begin
+          let lowered = Calyx.Pipelines.compile ~config ctx in
+          let sim = Calyx_sim.Sim.create lowered in
+          (* Identity-ish test data. *)
+          for r = 0 to rows - 1 do
+            Calyx_sim.Sim.write_memory_ints sim (Systolic.left_memory r)
+              ~width:32
+              (List.init depth (fun k -> r + k + 1))
+          done;
+          for c = 0 to cols - 1 do
+            Calyx_sim.Sim.write_memory_ints sim (Systolic.top_memory c)
+              ~width:32
+              (List.init depth (fun k -> (2 * k) + c + 1))
+          done;
+          let cycles = Calyx_sim.Sim.run sim in
+          Printf.printf "cycles: %d\n" cycles;
+          dump_externals sim
+        end
+        else output (Calyx.Pipelines.compile ~config ctx) emit)
+  in
+  let dim name = Arg.(value & opt int 4 & info [ name ] ~docv:"N" ~doc:(name ^ " of the array")) in
+  Cmd.v
+    (Cmd.info "systolic" ~doc:"Generate a matrix-multiply systolic array (Section 6.1).")
+    Term.(const run $ dim "rows" $ dim "cols" $ dim "depth" $ config_term
+          $ emit_term $ Arg.(value & flag & info [ "run" ] ~doc:"Simulate with test data."))
+
+let polybench_cmd =
+  let run kernel unrolled config =
+    handle_errors (fun () ->
+        let kernels =
+          match kernel with
+          | Some name -> [ Polybench.Kernels.find name ]
+          | None ->
+              if unrolled then Polybench.Kernels.unrollable
+              else Polybench.Kernels.all
+        in
+        Printf.printf "%-12s %10s %8s %8s %6s  %s\n" "kernel" "cycles" "LUTs"
+          "regs" "DSPs" "check";
+        List.iter
+          (fun k ->
+            let r = Polybench.Harness.run ~config k ~unrolled in
+            Printf.printf "%-12s %10d %8d %8d %6d  %s\n" k.Polybench.Kernels.name
+              r.Polybench.Harness.cycles r.Polybench.Harness.area.Calyx_synth.Area.luts
+              r.Polybench.Harness.area.Calyx_synth.Area.registers
+              r.Polybench.Harness.area.Calyx_synth.Area.dsps
+              (if r.Polybench.Harness.correct then "ok"
+               else "MISMATCH: " ^ String.concat "," r.Polybench.Harness.mismatches))
+          kernels)
+  in
+  let kernel =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"KERNEL" ~doc:"Kernel name (default: all).")
+  in
+  let unrolled = Arg.(value & flag & info [ "unrolled" ] ~doc:"Use the unrolled variants.") in
+  Cmd.v
+    (Cmd.info "polybench" ~doc:"Run PolyBench kernels through the Dahlia-to-Calyx flow.")
+    Term.(const run $ kernel $ unrolled $ config_term)
+
+let stats_cmd =
+  let run file config =
+    handle_errors (fun () ->
+        let ctx = Calyx.Parser.parse_file file in
+        let t0 = Unix.gettimeofday () in
+        let lowered = Calyx.Pipelines.compile ~config ctx in
+        let t1 = Unix.gettimeofday () in
+        let sv = Calyx_verilog.Verilog.emit lowered in
+        let t2 = Unix.gettimeofday () in
+        let main = Calyx.Ir.entry ctx in
+        Printf.printf "cells:              %d\n" (List.length main.Calyx.Ir.cells);
+        Printf.printf "groups:             %d\n" (List.length main.Calyx.Ir.groups);
+        Printf.printf "control statements: %d\n"
+          (Calyx.Ir.control_size main.Calyx.Ir.control);
+        Printf.printf "compile time:       %.4f s\n" (t1 -. t0);
+        Printf.printf "emit time:          %.4f s\n" (t2 -. t1);
+        Printf.printf "SystemVerilog LOC:  %d\n" (Calyx_verilog.Verilog.loc sv);
+        let usage = Calyx_synth.Area.context_usage lowered in
+        Printf.printf "area estimate:      %s\n"
+          (Format.asprintf "%a" Calyx_synth.Area.pp usage);
+        let timing = Calyx_synth.Timing.context_depth lowered in
+        Printf.printf "critical path:      %d logic levels\n"
+          timing.Calyx_synth.Timing.levels;
+        match timing.Calyx_synth.Timing.critical with
+        | [] -> ()
+        | path ->
+            Printf.printf "  through: %s\n"
+              (String.concat " -> "
+                 (if List.length path > 6 then
+                    List.filteri (fun i _ -> i < 6) path @ [ "..." ]
+                  else path)))
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Compilation statistics for a Calyx design (Section 7.4).")
+    Term.(const run $ file_arg $ config_term)
+
+let () =
+  let doc = "the Calyx compiler infrastructure (OCaml reproduction)" in
+  exit
+    (Cmd.eval'
+       (Cmd.group
+          (Cmd.info "calyx" ~version:"1.0.0" ~doc)
+          [
+            compile_cmd; interp_cmd; sim_cmd; dahlia_cmd; systolic_cmd;
+            polybench_cmd; stats_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/dahlia_dotprod.ml: Array Bitvec Calyx Calyx_sim Dahlia List Pipelines Printf String

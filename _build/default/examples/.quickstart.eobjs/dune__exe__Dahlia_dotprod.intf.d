@@ -1,0 +1,1 @@
+examples/dahlia_dotprod.mli:

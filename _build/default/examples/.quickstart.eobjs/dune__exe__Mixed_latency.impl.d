@@ -1,0 +1,1 @@
+examples/mixed_latency.ml: Attrs Calyx Calyx_sim Dahlia Ir List Pipelines Printf String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Calyx Calyx_sim Calyx_verilog List Pipelines Printer Printf String Well_formed

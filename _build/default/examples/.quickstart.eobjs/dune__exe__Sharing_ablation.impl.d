@@ -1,0 +1,1 @@
+examples/sharing_ablation.ml: Bitvec Calyx Calyx_sim Calyx_synth Dahlia Dead_cell_removal List Pass Pipelines Polybench Printf Resource_sharing String_map

@@ -1,0 +1,1 @@
+examples/systolic_matmul.ml: Array Attrs Calyx Calyx_sim Infer_latency Ir List Pass Pipelines Printf String Systolic

@@ -1,0 +1,90 @@
+(* Dahlia front end (Section 6.2): a dot product with an unrolled, banked
+   variant, compiled through Calyx and simulated.
+
+   Run with: dune exec examples/dahlia_dotprod.exe *)
+
+open Calyx
+
+let sequential =
+  {|
+decl a: ubit<32>[8];
+decl b: ubit<32>[8];
+decl out: ubit<32>[1];
+let acc: ubit<32> = 0
+---
+for (let i: ubit<4> = 0..8) {
+  let prod: ubit<32> = a[i] * b[i]
+  ---
+  acc := acc + prod
+}
+---
+out[0] := acc
+|}
+
+let unrolled =
+  {|
+decl a: ubit<32>[8 bank 8];
+decl b: ubit<32>[8 bank 8];
+decl ps: ubit<32>[8 bank 8];
+decl out: ubit<32>[1];
+for (let i: ubit<4> = 0..8) unroll 8 {
+  ps[i] := a[i] * b[i]
+}
+---
+out[0] := (((ps[0] + ps[1]) + (ps[2] + ps[3])) + ((ps[4] + ps[5]) + (ps[6] + ps[7])))
+|}
+
+let va = List.init 8 (fun i -> i + 1)
+let vb = List.init 8 (fun i -> (2 * i) + 1)
+let expected = List.fold_left2 (fun acc x y -> acc + (x * y)) 0 va vb
+
+let run ~name ~config src =
+  let prog = Dahlia.Parser.parse_string src in
+  let ctx = Dahlia.To_calyx.compile prog in
+  let lowered = Pipelines.compile ~config ctx in
+  let sim = Calyx_sim.Sim.create lowered in
+  (* The unrolled variant banks its inputs: scatter through the decls. *)
+  let load name values =
+    let d =
+      List.find (fun d -> d.Dahlia.Ast.decl_name = name) prog.Dahlia.Ast.decls
+    in
+    match d.Dahlia.Ast.dims with
+    | [ { Dahlia.Ast.bank = 1; _ } ] ->
+        Calyx_sim.Sim.write_memory_ints sim name ~width:32 values
+    | [ { Dahlia.Ast.bank = b; _ } ] ->
+        List.iteri
+          (fun i v ->
+            let phys = Dahlia.Lowering.bank_name name [ i mod b ] in
+            let contents = Calyx_sim.Sim.read_memory sim phys in
+            contents.(i / b) <- Bitvec.of_int ~width:32 v;
+            Calyx_sim.Sim.write_memory sim phys contents)
+          values
+    | _ -> assert false
+  in
+  load "a" va;
+  load "b" vb;
+  let cycles = Calyx_sim.Sim.run sim in
+  let result = List.hd (Calyx_sim.Sim.read_memory_ints sim "out") in
+  Printf.printf "%-22s %6d cycles   out[0] = %d (%s)\n" name cycles result
+    (if result = expected then "ok" else "MISMATCH");
+  cycles
+
+let () =
+  Printf.printf "dot product of %s and %s, expected %d\n\n"
+    (String.concat "," (List.map string_of_int va))
+    (String.concat "," (List.map string_of_int vb))
+    expected;
+  let insensitive =
+    run ~name:"sequential/insensitive" ~config:Pipelines.insensitive_config
+      sequential
+  in
+  let static = run ~name:"sequential/static" ~config:Pipelines.default_config
+      sequential
+  in
+  let par = run ~name:"unrolled+banked/static" ~config:Pipelines.default_config
+      unrolled
+  in
+  Printf.printf
+    "\nlatency-sensitive compilation is %.2fx faster; unrolling adds %.2fx\n"
+    (float_of_int insensitive /. float_of_int static)
+    (float_of_int static /. float_of_int par)

@@ -1,0 +1,1 @@
+lib/calyx/attrs.ml: Format Int List Map Option String

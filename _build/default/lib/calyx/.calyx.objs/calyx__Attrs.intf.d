@@ -1,0 +1,1 @@
+lib/calyx/attrs.mli: Format

@@ -1,0 +1,1 @@
+lib/calyx/bitvec.ml: Format Int Int64

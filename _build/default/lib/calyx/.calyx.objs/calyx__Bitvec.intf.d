@@ -1,0 +1,1 @@
+lib/calyx/bitvec.mli: Format

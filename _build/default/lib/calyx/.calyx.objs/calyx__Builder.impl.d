@@ -1,0 +1,1 @@
+lib/calyx/builder.ml: Attrs Bitvec Ir List String

@@ -1,0 +1,1 @@
+lib/calyx/builder.mli: Attrs Ir

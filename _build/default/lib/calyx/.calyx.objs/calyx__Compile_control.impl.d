@@ -1,0 +1,1 @@
+lib/calyx/compile_control.ml: Attrs Builder Ir List Pass

@@ -1,0 +1,1 @@
+lib/calyx/compile_invoke.ml: Builder Ir List Pass

@@ -1,0 +1,1 @@
+lib/calyx/dead_cell_removal.mli: Pass

@@ -1,0 +1,1 @@
+lib/calyx/go_insertion.ml: Ir List Pass String

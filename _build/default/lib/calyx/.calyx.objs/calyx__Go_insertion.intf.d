@@ -1,0 +1,1 @@
+lib/calyx/go_insertion.mli: Pass

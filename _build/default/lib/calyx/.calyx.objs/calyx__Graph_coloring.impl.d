@@ -1,0 +1,1 @@
+lib/calyx/graph_coloring.ml: Hashtbl Ir List Option String

@@ -1,0 +1,1 @@
+lib/calyx/graph_coloring.mli: Ir

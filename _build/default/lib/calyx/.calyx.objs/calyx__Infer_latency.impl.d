@@ -1,0 +1,1 @@
+lib/calyx/infer_latency.ml: Attrs Bitvec Ir List Pass Prims Static_timing String

@@ -1,0 +1,1 @@
+lib/calyx/infer_latency.mli: Pass

@@ -1,0 +1,1 @@
+lib/calyx/ir.ml: Attrs Bitvec Format Hashtbl List Map Prims Set String

@@ -1,0 +1,1 @@
+lib/calyx/ir.mli: Attrs Bitvec Format Map Set

@@ -1,0 +1,1 @@
+lib/calyx/lexer.ml: Bitvec Buffer Format Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/calyx/lexer.mli: Bitvec

@@ -1,0 +1,1 @@
+lib/calyx/liveness.ml: Hashtbl Ir List Read_write_set Schedule_conflicts String String_set

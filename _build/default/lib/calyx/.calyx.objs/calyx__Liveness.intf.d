@@ -1,0 +1,1 @@
+lib/calyx/liveness.mli: Ir

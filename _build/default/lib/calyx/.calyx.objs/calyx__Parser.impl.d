@@ -1,0 +1,1 @@
+lib/calyx/parser.ml: Attrs Format Ir Lexer List Prims String

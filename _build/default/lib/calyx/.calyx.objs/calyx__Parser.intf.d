@@ -1,0 +1,1 @@
+lib/calyx/parser.mli: Ir

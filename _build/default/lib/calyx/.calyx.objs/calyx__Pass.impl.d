@@ -1,0 +1,1 @@
+lib/calyx/pass.ml: Ir List Printf Well_formed

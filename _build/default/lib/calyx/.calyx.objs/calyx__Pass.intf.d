@@ -1,0 +1,1 @@
+lib/calyx/pass.mli: Ir

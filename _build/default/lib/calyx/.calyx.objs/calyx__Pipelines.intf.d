@@ -1,0 +1,1 @@
+lib/calyx/pipelines.mli: Ir Pass

@@ -1,0 +1,1 @@
+lib/calyx/prims.ml: Hashtbl List Printf String

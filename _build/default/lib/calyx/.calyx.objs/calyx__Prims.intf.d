@@ -1,0 +1,1 @@
+lib/calyx/prims.mli:

@@ -1,0 +1,1 @@
+lib/calyx/printer.ml: Attrs Format Ir List

@@ -1,0 +1,1 @@
+lib/calyx/printer.mli: Format Ir

@@ -1,0 +1,1 @@
+lib/calyx/read_write_set.ml: Bitvec Ir List String_set

@@ -1,0 +1,1 @@
+lib/calyx/read_write_set.mli: Ir

@@ -1,0 +1,1 @@
+lib/calyx/register_sharing.ml: Graph_coloring Ir List Liveness Pass Read_write_set Resource_sharing String_map String_set

@@ -1,0 +1,1 @@
+lib/calyx/register_sharing.mli: Ir Pass

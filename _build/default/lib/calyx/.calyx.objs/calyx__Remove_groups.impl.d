@@ -1,0 +1,1 @@
+lib/calyx/remove_groups.ml: Attrs Bitvec Builder Hashtbl Ir List Pass

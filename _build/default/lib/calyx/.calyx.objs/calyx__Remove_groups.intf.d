@@ -1,0 +1,1 @@
+lib/calyx/remove_groups.mli: Pass

@@ -1,0 +1,1 @@
+lib/calyx/resource_sharing.ml: Attrs Graph_coloring Ir List Option Pass Prims Schedule_conflicts String String_map String_set

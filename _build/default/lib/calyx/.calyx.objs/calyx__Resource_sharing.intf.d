@@ -1,0 +1,1 @@
+lib/calyx/resource_sharing.mli: Ir Pass

@@ -1,0 +1,1 @@
+lib/calyx/schedule_conflicts.ml: Graph_coloring Ir List

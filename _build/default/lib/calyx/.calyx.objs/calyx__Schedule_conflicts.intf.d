@@ -1,0 +1,1 @@
+lib/calyx/schedule_conflicts.mli: Graph_coloring Ir

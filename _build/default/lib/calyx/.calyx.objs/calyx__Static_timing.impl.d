@@ -1,0 +1,1 @@
+lib/calyx/static_timing.ml: Attrs Builder Compile_control Ir List Option Pass

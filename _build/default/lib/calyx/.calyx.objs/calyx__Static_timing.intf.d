@@ -1,0 +1,1 @@
+lib/calyx/static_timing.mli: Ir Pass

@@ -1,0 +1,1 @@
+lib/calyx/well_formed.ml: Bitvec Format Hashtbl Ir List Prims Printf String

@@ -1,0 +1,1 @@
+lib/calyx/well_formed.mli: Ir

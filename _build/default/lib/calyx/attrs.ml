@@ -1,0 +1,30 @@
+module M = Map.Make (String)
+
+type t = int M.t
+
+let empty = M.empty
+let is_empty = M.is_empty
+let add key value attrs = M.add key value attrs
+let remove = M.remove
+let find key attrs = M.find_opt key attrs
+let mem = M.mem
+let get key ~default attrs = Option.value ~default (find key attrs)
+let of_list l = List.fold_left (fun m (k, v) -> M.add k v m) M.empty l
+let to_list attrs = M.bindings attrs
+let union a b = M.union (fun _ va _ -> Some va) a b
+let equal = M.equal Int.equal
+let static attrs = find "static" attrs
+let with_static n attrs = add "static" n attrs
+let shareable attrs = get "share" ~default:0 attrs <> 0
+let external_mem attrs = get "external" ~default:0 attrs <> 0
+
+let pp fmt attrs =
+  if not (is_empty attrs) then begin
+    let bindings = to_list attrs in
+    let pp_binding fmt (k, v) = Format.fprintf fmt "%S=%d" k v in
+    Format.fprintf fmt "<%a>"
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ")
+         pp_binding)
+      bindings
+  end

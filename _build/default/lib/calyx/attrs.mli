@@ -1,0 +1,43 @@
+(** Key-value attributes on Calyx entities (Section 3.5 of the paper).
+
+    Attributes are string keys mapping to integers, e.g.
+    [group foo<"latency"=1>]. Passes and frontends use them to exchange
+    information: ["static"] (latency in cycles), ["share"] (safe to share),
+    ["external"] (memory is part of the test-bench interface), ["go"]/["done"]
+    (interface port markers). *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+
+val add : string -> int -> t -> t
+(** [add key value attrs] sets [key]; replaces any previous value. *)
+
+val remove : string -> t -> t
+val find : string -> t -> int option
+val mem : string -> t -> bool
+val get : string -> default:int -> t -> int
+val of_list : (string * int) list -> t
+val to_list : t -> (string * int) list
+(** Bindings in ascending key order. *)
+
+val union : t -> t -> t
+(** [union a b] merges, preferring bindings of [a] on conflict. *)
+
+val equal : t -> t -> bool
+
+(** {1 Well-known attributes} *)
+
+val static : t -> int option
+(** The ["static"] latency attribute, if present. *)
+
+val with_static : int -> t -> t
+val shareable : t -> bool
+(** True iff ["share"] is set to a non-zero value. *)
+
+val external_mem : t -> bool
+(** True iff ["external"] is set to a non-zero value. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [<"k"=v, ...>]; prints nothing when empty. *)

@@ -1,0 +1,106 @@
+type t = { w : int; v : int64 }
+
+let max_width = 64
+
+exception Width_error of string
+
+let width_error fmt = Format.kasprintf (fun s -> raise (Width_error s)) fmt
+
+let mask w = if w >= 64 then -1L else Int64.sub (Int64.shift_left 1L w) 1L
+
+let check_width w =
+  if w < 1 || w > max_width then
+    width_error "bit vector width %d out of range [1, %d]" w max_width
+
+let make ~width v =
+  check_width width;
+  { w = width; v = Int64.logand v (mask width) }
+
+let of_int ~width v = make ~width (Int64.of_int v)
+let zero w = make ~width:w 0L
+let one w = make ~width:w 1L
+let ones w = make ~width:w (-1L)
+let width t = t.w
+let to_int64 t = t.v
+
+let to_int t =
+  if Int64.compare t.v 0L >= 0 && Int64.compare t.v (Int64.of_int max_int) <= 0
+  then Int64.to_int t.v
+  else width_error "bit vector value %Lu does not fit in an OCaml int" t.v
+
+let is_zero t = Int64.equal t.v 0L
+let is_true t = not (is_zero t)
+let equal a b = a.w = b.w && Int64.equal a.v b.v
+
+let compare a b =
+  match Int.compare a.w b.w with
+  | 0 -> Int64.unsigned_compare a.v b.v
+  | c -> c
+
+let same_width op a b =
+  if a.w <> b.w then
+    width_error "%s: width mismatch (%d vs %d)" op a.w b.w
+
+let binop op f a b =
+  same_width op a b;
+  make ~width:a.w (f a.v b.v)
+
+let add a b = binop "add" Int64.add a b
+let sub a b = binop "sub" Int64.sub a b
+let mul a b = binop "mul" Int64.mul a b
+
+let div a b =
+  same_width "div" a b;
+  if is_zero b then ones a.w
+  else make ~width:a.w (Int64.unsigned_div a.v b.v)
+
+let rem a b =
+  same_width "rem" a b;
+  if is_zero b then a
+  else make ~width:a.w (Int64.unsigned_rem a.v b.v)
+
+let logand a b = binop "and" Int64.logand a b
+let logor a b = binop "or" Int64.logor a b
+let logxor a b = binop "xor" Int64.logxor a b
+let lognot a = make ~width:a.w (Int64.lognot a.v)
+
+let shift_amount s =
+  (* Shift amounts >= 64 would be undefined for Int64 shifts. *)
+  if Int64.unsigned_compare s.v 64L >= 0 then 64 else Int64.to_int s.v
+
+let shift_left a s =
+  let n = shift_amount s in
+  if n >= a.w then zero a.w else make ~width:a.w (Int64.shift_left a.v n)
+
+let shift_right a s =
+  let n = shift_amount s in
+  if n >= a.w then zero a.w
+  else make ~width:a.w (Int64.shift_right_logical a.v n)
+
+let bool_bit b = if b then one 1 else zero 1
+
+let cmp op f a b =
+  same_width op a b;
+  bool_bit (f (Int64.unsigned_compare a.v b.v) 0)
+
+let eq a b = cmp "eq" ( = ) a b
+let neq a b = cmp "neq" ( <> ) a b
+let lt a b = cmp "lt" ( < ) a b
+let gt a b = cmp "gt" ( > ) a b
+let le a b = cmp "le" ( <= ) a b
+let ge a b = cmp "ge" ( >= ) a b
+
+let truncate t w = make ~width:w t.v
+
+let zero_extend t w =
+  if w < t.w then
+    width_error "zero_extend: target width %d smaller than %d" w t.w
+  else make ~width:w t.v
+
+let concat hi lo =
+  let w = hi.w + lo.w in
+  check_width w;
+  make ~width:w (Int64.logor (Int64.shift_left hi.v lo.w) lo.v)
+
+let pp fmt t = Format.fprintf fmt "%d'd%Lu" t.w t.v
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,21 @@
+(** The CompileControl pass (Sections 4.2–4.3).
+
+    Bottom-up, replaces every control statement with a {e compilation group}
+    that realizes the statement structurally, using latency-insensitive
+    finite-state machines built from registers and guarded assignments:
+
+    - [seq] gets a state register counting through its children; each child
+      is enabled in its state ([child[go] = state & !child[done]]) and the
+      FSM advances on the child's done;
+    - [par] gets a 1-bit register per child that latches the child's done;
+    - [if]/[while] get two 1-bit registers: [cc] (condition computed) and
+      [cs] (saved condition value), per Section 4.3.
+
+    Compilation groups reset their own state when they signal done, so they
+    operate correctly inside loops and on re-invocation. After the pass,
+    each component's control program is a single group enable. *)
+
+val pass : Pass.t
+
+val clog2 : int -> int
+(** Bits needed to hold values [0..n-1]; at least 1. *)

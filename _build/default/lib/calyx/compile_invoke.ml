@@ -1,0 +1,30 @@
+open Ir
+
+let lower_invokes (_ctx : context) comp =
+  let comp_ref = ref comp in
+  let control =
+    map_control
+      (function
+        | Invoke { cell = target; invoke_inputs; invoke_attrs } ->
+            let name = fresh_group_name !comp_ref ("invoke_" ^ target) in
+            let assigns =
+              List.map
+                (fun (p, a) -> Builder.assign (Builder.port target p) a)
+                invoke_inputs
+              @ [
+                  Builder.assign (Builder.port target "go") (Builder.bit true);
+                  Builder.assign (Builder.hole name "done")
+                    (Builder.pa target "done");
+                ]
+            in
+            comp_ref := Ir.add_group !comp_ref (Builder.group name assigns);
+            Enable (name, invoke_attrs)
+        | c -> c)
+      comp.control
+  in
+  { !comp_ref with control }
+
+let pass =
+  Pass.make ~name:"compile-invoke"
+    ~description:"lower invoke statements into groups and enables"
+    (Pass.per_component lower_invokes)

@@ -1,0 +1,10 @@
+(** Lowering for the [invoke] control operator.
+
+    [invoke cell(port = atom, ...)] is a higher-level control statement in
+    the spirit of the paper's Section 9 (new operators compile into more
+    primitive ones): it rewrites into a generated group that drives the
+    cell's inputs and its [go], completes on the cell's [done], and an
+    enable of that group. Running before {!Infer_latency} lets the
+    inference rules recover the group's latency from the invoked cell's. *)
+
+val pass : Pass.t

@@ -1,0 +1,9 @@
+(** Dead-cell removal.
+
+    Deletes cells none of whose ports appear in any assignment or control
+    condition. Cells carrying the ["external"] attribute (test-bench
+    memories) are always kept. Run after {!Remove_groups}, where inlining
+    can leave constant-folded logic behind, and usable at any earlier point
+    as a cleanup. *)
+
+val pass : Pass.t

@@ -1,0 +1,23 @@
+open Ir
+
+let insert_go (_ctx : context) comp =
+  let guard_assignment group_name a =
+    match a.dst with
+    | Hole (g, "done") when String.equal g group_name -> a
+    | _ ->
+        let go = Atom (Port (Hole (group_name, "go"))) in
+        { a with guard = (match a.guard with True -> go | g -> And (go, g)) }
+  in
+  {
+    comp with
+    groups =
+      List.map
+        (fun g ->
+          { g with assigns = List.map (guard_assignment g.group_name) g.assigns })
+        comp.groups;
+  }
+
+let pass =
+  Pass.make ~name:"go-insertion"
+    ~description:"guard group assignments with the group's go interface signal"
+    (Pass.per_component insert_go)

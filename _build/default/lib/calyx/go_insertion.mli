@@ -1,0 +1,10 @@
+(** The GoInsertion pass (Section 4.2).
+
+    Guards every assignment inside a group with the group's [go] interface
+    signal, so that when groups are later dissolved the correct assignments
+    remain active at the correct times. Writes to the group's {e own} [done]
+    hole are exempt: the done condition must be observable by the schedule
+    (and gates the group's go in the compiled encoding), so guarding it with
+    go would be circular. *)
+
+val pass : Pass.t

@@ -1,0 +1,55 @@
+module SS = Ir.String_set
+module SM = Ir.String_map
+
+type t = {
+  nodes : (string, unit) Hashtbl.t;
+  edges : (string * string, unit) Hashtbl.t;  (* keys ordered (min, max) *)
+}
+
+let create () = { nodes = Hashtbl.create 64; edges = Hashtbl.create 256 }
+let add_node g n = if not (Hashtbl.mem g.nodes n) then Hashtbl.replace g.nodes n ()
+
+let key a b = if String.compare a b <= 0 then (a, b) else (b, a)
+
+let add_edge g a b =
+  if not (String.equal a b) then begin
+    add_node g a;
+    add_node g b;
+    Hashtbl.replace g.edges (key a b) ()
+  end
+
+let rec add_clique g = function
+  | [] -> ()
+  | n :: rest ->
+      add_node g n;
+      List.iter (add_edge g n) rest;
+      add_clique g rest
+
+let conflicting g a b = Hashtbl.mem g.edges (key a b)
+
+let greedy g ~cls ~order =
+  (* members.(rep) = nodes already assigned to rep *)
+  let members : (string, string list) Hashtbl.t = Hashtbl.create 16 in
+  let reps = ref [] in
+  let assignment = ref SM.empty in
+  List.iter
+    (fun node ->
+      let node_class = cls node in
+      let fits rep =
+        String.equal (cls rep) node_class
+        && List.for_all
+             (fun m -> not (conflicting g m node))
+             (Option.value ~default:[] (Hashtbl.find_opt members rep))
+      in
+      let rep =
+        match List.find_opt fits (List.rev !reps) with
+        | Some r -> r
+        | None ->
+            reps := node :: !reps;
+            node
+      in
+      Hashtbl.replace members rep
+        (node :: Option.value ~default:[] (Hashtbl.find_opt members rep));
+      assignment := SM.add node rep !assignment)
+    order;
+  !assignment

@@ -1,0 +1,25 @@
+(** Greedy graph coloring over named resources (Sections 5.1–5.2).
+
+    Nodes are resource names (cells or registers); edges mean "may not share".
+    Coloring uses the nodes themselves as colors: each node is mapped to the
+    first already-chosen representative of the same class it does not
+    conflict with, or to itself. *)
+
+type t
+
+val create : unit -> t
+val add_node : t -> string -> unit
+val add_edge : t -> string -> string -> unit
+(** Symmetric; implicitly adds the nodes. Self-edges are ignored. *)
+
+val add_clique : t -> string list -> unit
+(** Pairwise edges among all listed nodes. *)
+
+val conflicting : t -> string -> string -> bool
+
+val greedy : t -> cls:(string -> string) -> order:string list -> string Ir.String_map.t
+(** [greedy g ~cls ~order] colors the nodes in [order] (each must have been
+    added). Two nodes may share a representative only when [cls] agrees and
+    no member already assigned to the representative conflicts with the
+    node. Returns the complete node-to-representative map (identity for
+    unshared nodes). *)

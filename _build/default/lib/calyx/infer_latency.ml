@@ -1,0 +1,135 @@
+open Ir
+
+(* Latency of a cell's go/done (or write_en/done) protocol, if known. *)
+let cell_latency ctx comp cell_name =
+  match (find_cell comp cell_name).cell_proto with
+  | Prim (name, _) -> (
+      match Prims.find name with Some info -> info.latency | None -> None)
+  | Comp name -> Attrs.static (find_component ctx name).comp_attrs
+
+let is_register comp cell_name =
+  match (find_cell comp cell_name).cell_proto with
+  | Prim (("std_reg" | "std_mem_d1" | "std_mem_d2"), _) -> true
+  | _ -> false
+
+(* The group's sole unconditional write to its own done hole, if any. *)
+let done_source group =
+  let writes =
+    List.filter
+      (fun a ->
+        match a.dst with
+        | Hole (g, "done") -> String.equal g group.group_name
+        | _ -> false)
+      group.assigns
+  in
+  match writes with [ { guard = True; src; _ } ] -> Some src | _ -> None
+
+let drives_write_en_high cell group =
+  List.exists
+    (fun a ->
+      match (a.dst, a.guard, a.src) with
+      | Cell_port (c, "write_en"), True, Lit v ->
+          String.equal c cell && Bitvec.is_true v
+      | _ -> false)
+    group.assigns
+
+(* Accepts the two invocation idioms: [c.go = 1] and [c.go = !c.done ? 1]. *)
+let drives_go cell group =
+  List.exists
+    (fun a ->
+      match (a.dst, a.src) with
+      | Cell_port (c, "go"), Lit v when String.equal c cell && Bitvec.is_true v
+        -> (
+          match a.guard with
+          | True -> true
+          | Not (Atom (Port (Cell_port (c', "done")))) -> String.equal c' cell
+          | _ -> false)
+      | _ -> false)
+    group.assigns
+
+(* Register write gated by a go/done cell's completion:
+   [r.write_en = c.done]. *)
+let write_en_source cell group =
+  List.find_map
+    (fun a ->
+      match (a.dst, a.guard, a.src) with
+      | Cell_port (c, "write_en"), True, Port (Cell_port (c', "done"))
+        when String.equal c cell ->
+          Some c'
+      | _ -> None)
+    group.assigns
+
+let infer_group ctx comp group =
+  match Attrs.static group.group_attrs with
+  | Some _ -> (group, false)
+  | None -> (
+      let annotate n =
+        ({ group with group_attrs = Attrs.with_static n group.group_attrs }, true)
+      in
+      match done_source group with
+      | Some (Lit v) when Bitvec.is_true v -> annotate 1
+      | Some (Port (Cell_port (c, "done"))) -> (
+          if is_register comp c then
+            if drives_write_en_high c group then annotate 1
+            else begin
+              (* r.write_en = c'.done; c' invoked within the group. *)
+              match write_en_source c group with
+              | Some c' when drives_go c' group -> (
+                  match cell_latency ctx comp c' with
+                  | Some l -> annotate (l + 1)
+                  | None -> (group, false))
+              | _ -> (group, false)
+            end
+          else
+            match cell_latency ctx comp c with
+            | Some l when drives_go c group -> annotate l
+            | _ -> (group, false))
+      | _ -> (group, false))
+
+let infer_component ctx comp =
+  let changed = ref false in
+  let groups =
+    List.map
+      (fun g ->
+        let g', c = infer_group ctx comp g in
+        if c then changed := true;
+        g')
+      comp.groups
+  in
+  let comp = { comp with groups } in
+  let comp =
+    if Attrs.static comp.comp_attrs <> None || comp.control = Empty then comp
+    else
+      match Static_timing.control_latency comp comp.control with
+      | Some n ->
+          changed := true;
+          { comp with comp_attrs = Attrs.with_static n comp.comp_attrs }
+      | None -> comp
+  in
+  (comp, !changed)
+
+let infer ctx =
+  (* Iterate so latencies propagate bottom-up through component
+     instantiations. *)
+  let rec go ctx iterations =
+    let changed = ref false in
+    let components =
+      List.map
+        (fun c ->
+          if c.is_extern <> None then c
+          else begin
+            let c', ch = infer_component ctx c in
+            if ch then changed := true;
+            c'
+          end)
+        ctx.components
+    in
+    let ctx = { ctx with components } in
+    if !changed && iterations < 16 then go ctx (iterations + 1) else ctx
+  in
+  go ctx 0
+
+let pass =
+  Pass.make ~name:"infer-latency"
+    ~description:"infer static latencies for simple groups and components"
+    infer

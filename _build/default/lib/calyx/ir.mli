@@ -1,0 +1,221 @@
+(** The Calyx intermediate language (Section 3 of the paper).
+
+    A Calyx program ({!context}) is a set of {!component}s. Each component
+    instantiates sub-components ({!cell}s), connects their ports with guarded
+    {!assignment}s — either grouped into named {!group}s or continuous — and
+    orchestrates the groups with a {!control} program.
+
+    Every component implicitly carries the interface ports of the calling
+    convention (Section 4.1): a 1-bit [go] input and a 1-bit [done] output.
+    The {!Builder} module inserts them automatically. *)
+
+type direction = Input | Output
+
+type port_def = {
+  pd_name : string;
+  pd_width : int;
+  pd_dir : direction;
+  pd_attrs : Attrs.t;
+}
+(** A port in a component signature. *)
+
+(** What a cell instantiates. *)
+type prototype =
+  | Prim of string * int list
+      (** A standard primitive with its integer parameters,
+          e.g. [Prim ("std_add", [32])]. *)
+  | Comp of string  (** A user-defined component, by name. *)
+
+type cell = {
+  cell_name : string;
+  cell_proto : prototype;
+  cell_attrs : Attrs.t;
+}
+
+(** A reference to a port. *)
+type port_ref =
+  | Cell_port of string * string  (** [c.p] — port [p] of cell [c]. *)
+  | Hole of string * string
+      (** [g[h]] — interface hole [h] (["go"] or ["done"]) of group [g]. *)
+  | This of string  (** A port of the enclosing component. *)
+
+(** The leaves of guards and the sources of assignments. *)
+type atom = Port of port_ref | Lit of Bitvec.t
+
+type cmp_op = Eq | Neq | Lt | Gt | Le | Ge
+
+(** Guard expressions (Section 3.2): boolean connectives over port
+    truthiness and unsigned comparisons of atoms. *)
+type guard =
+  | True
+  | Atom of atom  (** True iff the atom's value is non-zero. *)
+  | Cmp of cmp_op * atom * atom
+  | And of guard * guard
+  | Or of guard * guard
+  | Not of guard
+
+type assignment = { dst : port_ref; src : atom; guard : guard }
+(** [dst = guard ? src]. Assignments are non-blocking: all active
+    assignments propagate within the same cycle. *)
+
+type group = {
+  group_name : string;
+  group_attrs : Attrs.t;
+  assigns : assignment list;
+}
+
+(** The control sub-language (Section 3.4). *)
+type control =
+  | Empty
+  | Enable of string * Attrs.t  (** Pass control to a group. *)
+  | Seq of control list * Attrs.t
+  | Par of control list * Attrs.t
+  | If of {
+      cond_port : port_ref;
+      cond_group : string option;
+          (** The [with] group that computes the condition, if any. *)
+      tbranch : control;
+      fbranch : control;
+      if_attrs : Attrs.t;
+    }
+  | While of {
+      cond_port : port_ref;
+      cond_group : string option;
+      body : control;
+      while_attrs : Attrs.t;
+    }
+  | Invoke of {
+      cell : string;
+      invoke_inputs : (string * atom) list;
+          (** Input port of the invoked cell -> driven atom. *)
+      invoke_attrs : Attrs.t;
+    }
+
+type component = {
+  comp_name : string;
+  inputs : port_def list;
+  outputs : port_def list;
+  cells : cell list;
+  groups : group list;
+  continuous : assignment list;  (** Assignments outside any group. *)
+  control : control;
+  comp_attrs : Attrs.t;
+  is_extern : string option;
+      (** [Some path] for [extern "path" { ... }] declarations: the component
+          has a signature but no body (Section 6.2, black-box RTL). *)
+}
+
+type context = {
+  components : component list;
+  entrypoint : string;  (** Name of the top-level component (["main"]). *)
+}
+
+exception Ir_error of string
+
+val ir_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Raise {!Ir_error} with a formatted message. *)
+
+(** {1 Lookup} *)
+
+val find_component : context -> string -> component
+val find_component_opt : context -> string -> component option
+val entry : context -> component
+
+val find_cell : component -> string -> cell
+val find_cell_opt : component -> string -> cell option
+val find_group : component -> string -> group
+val find_group_opt : component -> string -> group option
+
+val signature_ports : component -> port_def list
+(** Inputs followed by outputs. *)
+
+val update_component : context -> component -> context
+(** Replace the component of the same name. *)
+
+val add_component : context -> component -> context
+
+(** {1 Widths}
+
+    Width resolution needs the context (cells may instantiate user-defined
+    components) and the enclosing component (for [This] ports). *)
+
+val cell_port_width : context -> component -> string -> string -> int
+(** [cell_port_width ctx comp cell port]: width of [cell.port]; raises
+    {!Ir_error} for unknown cells or ports. *)
+
+val port_ref_width : context -> component -> port_ref -> int
+val atom_width : context -> component -> atom -> int
+
+val cell_ports : context -> prototype -> (string * int * direction) list
+(** All ports of a prototype as [(name, width, direction)]. *)
+
+(** {1 Construction helpers} *)
+
+val fresh_name : taken:(string -> bool) -> string -> string
+(** [fresh_name ~taken base] returns [base] or [base0], [base1], … — the
+    first candidate for which [taken] is false. *)
+
+val fresh_cell_name : component -> string -> string
+val fresh_group_name : component -> string -> string
+
+val add_cell : component -> cell -> component
+val add_cells : component -> cell list -> component
+val add_group : component -> group -> component
+val remove_group : component -> string -> component
+
+(** {1 Traversal} *)
+
+val guard_atoms : guard -> atom list
+val assignment_atoms : assignment -> atom list
+(** Source and guard atoms (not the destination). *)
+
+val map_guard_atoms : (atom -> atom) -> guard -> guard
+val map_assignment_ports : (port_ref -> port_ref) -> assignment -> assignment
+(** Applies to the destination, the source, and all guard atoms. *)
+
+val map_assignments : (assignment -> assignment) -> component -> component
+(** Over all groups and the continuous assignments. *)
+
+val all_assignments : component -> assignment list
+(** Continuous assignments plus every group's assignments. *)
+
+val map_control : (control -> control) -> control -> control
+(** Bottom-up rewrite of every control node. *)
+
+val iter_control : (control -> unit) -> control -> unit
+(** Pre-order visit of every control node. *)
+
+val enabled_groups : control -> string list
+(** Names of groups enabled anywhere in a control program, including
+    [with] condition groups; without duplicates, in first-visit order. *)
+
+val control_size : control -> int
+(** Number of control statements (for the Section 7.4 statistics): every
+    node except [Empty] counts as one. *)
+
+val rename_enables : (string -> string) -> control -> control
+(** Rename group references (enables and [with] groups). *)
+
+(** {1 Equality and printing (for diagnostics and tests)} *)
+
+val equal_port_ref : port_ref -> port_ref -> bool
+val compare_port_ref : port_ref -> port_ref -> int
+val equal_atom : atom -> atom -> bool
+val equal_guard : guard -> guard -> bool
+val equal_assignment : assignment -> assignment -> bool
+
+val pp_port_ref : Format.formatter -> port_ref -> unit
+val pp_atom : Format.formatter -> atom -> unit
+val pp_guard : Format.formatter -> guard -> unit
+
+module Port_ref_set : Set.S with type elt = port_ref
+module Port_ref_map : Map.S with type key = port_ref
+module String_set : Set.S with type elt = string
+module String_map : Map.S with type key = string
+
+val simplify_guard : guard -> guard
+(** Boolean simplification ([And (True, g)] = [g], double negation, …);
+    [Not True] is the canonical false. *)
+
+val guard_size : guard -> int
+(** Number of operators and atoms in a guard (used by the area model). *)

@@ -1,0 +1,40 @@
+(** Lexer for the Calyx surface syntax. *)
+
+type token =
+  | IDENT of string
+  | NUMBER of int
+  | LIT of Bitvec.t  (** Width-annotated literal, e.g. [32'd42]. *)
+  | STRING of string
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | LANGLE
+  | RANGLE
+  | EQ
+  | EQEQ
+  | NEQ
+  | LE
+  | GE
+  | SEMI
+  | COLON
+  | COMMA
+  | DOT
+  | QUESTION
+  | BANG
+  | AMP
+  | PIPE
+  | ARROW
+  | EOF
+
+exception Lex_error of string
+(** Raised with a message carrying the line number of the offending input. *)
+
+val tokenize : string -> token list
+(** Tokenize a whole source string; comments ([// …] and [/* … */]) and
+    whitespace are skipped. The result ends with {!EOF}. *)
+
+val token_to_string : token -> string
+(** For error messages. *)

@@ -1,0 +1,133 @@
+open Ir
+module SS = String_set
+
+type result = {
+  live_in : SS.t;
+  conflict_cliques : SS.t list;
+}
+
+let analyze comp =
+  let regs = Read_write_set.registers comp in
+  let group g = find_group comp g in
+  let reads_tbl = Hashtbl.create 16 in
+  let reads g =
+    match Hashtbl.find_opt reads_tbl g with
+    | Some s -> s
+    | None ->
+        let s = Read_write_set.reads comp (group g) in
+        Hashtbl.replace reads_tbl g s;
+        s
+  in
+  let memo tbl f g =
+    match Hashtbl.find_opt tbl g with
+    | Some s -> s
+    | None ->
+        let s = f comp (group g) in
+        Hashtbl.replace tbl g s;
+        s
+  in
+  let must_tbl = Hashtbl.create 16 and may_tbl = Hashtbl.create 16 in
+  let must_writes g = memo must_tbl Read_write_set.must_writes g in
+  let may_writes g = memo may_tbl Read_write_set.may_writes g in
+  (* Registers read from continuous assignments are observable at any time
+     (e.g. they feed output ports); they interfere with everything. *)
+  let always_live =
+    List.fold_left
+      (fun acc a ->
+        List.fold_left
+          (fun acc atom ->
+            match atom with
+            | Port (Cell_port (c, _)) when SS.mem c regs -> SS.add c acc
+            | _ -> acc)
+          acc (a.src :: guard_atoms a.guard))
+      SS.empty comp.continuous
+  in
+  let cliques = ref [] in
+  let seen_cliques = Hashtbl.create 64 in
+  let clique s =
+    if SS.cardinal s > 1 then begin
+      (* Live sets repeat heavily across groups; deduplicate. *)
+      let k = String.concat "\x00" (SS.elements s) in
+      if not (Hashtbl.mem seen_cliques k) then begin
+        Hashtbl.replace seen_cliques k ();
+        cliques := s :: !cliques
+      end
+    end
+  in
+  (* Touched registers of a subtree (for parallel interference). *)
+  let touched_tbl = Hashtbl.create 64 in
+  let touched ctrl =
+    let groups = Schedule_conflicts.subtree_groups ctrl in
+    let k = String.concat "\x00" (SS.elements groups) in
+    match Hashtbl.find_opt touched_tbl k with
+    | Some s -> s
+    | None ->
+        let s =
+          SS.fold
+            (fun g acc -> SS.union acc (SS.union (reads g) (may_writes g)))
+            groups SS.empty
+        in
+        Hashtbl.replace touched_tbl k s;
+        s
+  in
+  let visit_group g live_after =
+    let live_in = SS.union (reads g) (SS.diff live_after (must_writes g)) in
+    (* At this node, everything written interferes with everything live
+       across or out of the node. *)
+    clique (SS.union (SS.union live_in (may_writes g)) always_live);
+    live_in
+  in
+  let rec flow ctrl live_after =
+    match ctrl with
+    | Empty -> live_after
+    | Invoke { invoke_inputs; _ } ->
+        (* Reads its argument registers; writes only the invoked cell. *)
+        let read =
+          List.fold_left
+            (fun acc (_, a) ->
+              match a with
+              | Port (Cell_port (c, "out")) when SS.mem c regs -> SS.add c acc
+              | _ -> acc)
+            SS.empty invoke_inputs
+        in
+        let live_in = SS.union read live_after in
+        clique (SS.union live_in always_live);
+        live_in
+    | Enable (g, _) -> visit_group g live_after
+    | Seq (cs, _) -> List.fold_right flow cs live_after
+    | Par (cs, _) ->
+        (* Each child sees the liveness leaving the par (writes in one child
+           are visible after the block; Section 5.2). *)
+        let ins = List.map (fun c -> flow c live_after) cs in
+        let rec cross = function
+          | [] -> ()
+          | c :: rest ->
+              let tc = touched c in
+              List.iter (fun c' -> clique (SS.union tc (touched c'))) rest;
+              cross rest
+        in
+        cross cs;
+        List.fold_left SS.union live_after ins
+    | If { cond_group; tbranch; fbranch; _ } ->
+        let lt = flow tbranch live_after in
+        let lf = flow fbranch live_after in
+        let l = SS.union lt lf in
+        (match cond_group with Some cg -> visit_group cg l | None -> l)
+    | While { cond_group; body; _ } ->
+        (* live_in = reads(cond) ∪ live_after ∪ live_in(body applied to
+           live_in) — iterate to a fixpoint. *)
+        let rec iterate current =
+          let body_in = flow body current in
+          let next =
+            let l = SS.union live_after body_in in
+            match cond_group with Some cg -> visit_group cg l | None -> l
+          in
+          if SS.equal next current then next else iterate (SS.union next current)
+        in
+        iterate
+          (match cond_group with
+          | Some cg -> SS.union (reads cg) live_after
+          | None -> live_after)
+  in
+  let live_in = flow comp.control always_live in
+  { live_in; conflict_cliques = !cliques }

@@ -1,0 +1,23 @@
+(** Live-range analysis over parallel control flow (Section 5.2).
+
+    A structured backward dataflow over the control tree. [par] blocks are
+    handled in the spirit of Srinivasan–Wolfe parallel CFGs: each child is
+    analyzed against the liveness leaving the whole block, and registers
+    touched by sibling children additionally interfere with each other.
+    [while] loops iterate to a fixpoint.
+
+    The result is the interference relation the register-sharing pass
+    colors: two registers conflict when one is defined (or live) at a point
+    where the other is live, or when parallel branches touch both. *)
+
+type result = {
+  live_in : Ir.String_set.t;
+      (** Registers live on entry to the whole control program. *)
+  conflict_cliques : Ir.String_set.t list;
+      (** Each set is pairwise-interfering. *)
+}
+
+val analyze : Ir.component -> result
+(** Analyze a component's control program over its [std_reg] cells.
+    Registers referenced by continuous assignments are treated as live
+    everywhere (they join every clique). *)

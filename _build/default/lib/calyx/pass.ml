@@ -1,0 +1,31 @@
+type t = {
+  name : string;
+  description : string;
+  transform : Ir.context -> Ir.context;
+}
+
+let make ~name ~description transform = { name; description; transform }
+
+let run ?(validate = true) pass ctx =
+  let ctx' = pass.transform ctx in
+  if validate then begin
+    match Well_formed.errors ctx' with
+    | [] -> ()
+    | errors ->
+        raise
+          (Well_formed.Malformed
+             (List.map (fun e -> Printf.sprintf "[after %s] %s" pass.name e) errors))
+  end;
+  ctx'
+
+let run_all ?validate passes ctx =
+  List.fold_left (fun ctx pass -> run ?validate pass ctx) ctx passes
+
+let per_component f (ctx : Ir.context) =
+  {
+    ctx with
+    Ir.components =
+      List.map
+        (fun c -> if c.Ir.is_extern <> None then c else f ctx c)
+        ctx.Ir.components;
+  }

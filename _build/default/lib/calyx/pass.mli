@@ -1,0 +1,24 @@
+(** The pass framework: named context-to-context transformations.
+
+    Each compiler pass is a value of type {!t}. {!run} optionally re-checks
+    well-formedness after the transformation (on by default), which turns
+    pass bugs into early, attributable failures. *)
+
+type t = {
+  name : string;
+  description : string;
+  transform : Ir.context -> Ir.context;
+}
+
+val make : name:string -> description:string -> (Ir.context -> Ir.context) -> t
+
+val run : ?validate:bool -> t -> Ir.context -> Ir.context
+(** Apply one pass; with [validate] (default true), raises
+    [Well_formed.Malformed] annotated with the pass name if the output is
+    malformed. *)
+
+val run_all : ?validate:bool -> t list -> Ir.context -> Ir.context
+
+val per_component : (Ir.context -> Ir.component -> Ir.component) -> Ir.context -> Ir.context
+(** Lift a per-component rewrite over every non-extern component. The
+    function receives the original (pre-pass) context for lookups. *)

@@ -1,0 +1,45 @@
+type config = {
+  infer_latency : bool;
+  resource_sharing : bool;
+  register_sharing : bool;
+  static_timing : bool;
+}
+
+let default_config =
+  {
+    infer_latency = true;
+    resource_sharing = true;
+    register_sharing = true;
+    static_timing = true;
+  }
+
+let insensitive_config =
+  {
+    infer_latency = false;
+    resource_sharing = false;
+    register_sharing = false;
+    static_timing = false;
+  }
+
+let optimize config =
+  List.concat
+    [
+      [ Compile_invoke.pass ];
+      (if config.infer_latency then [ Infer_latency.pass ] else []);
+      (if config.resource_sharing then [ Resource_sharing.pass ] else []);
+      (if config.register_sharing then [ Register_sharing.pass ] else []);
+    ]
+
+let lower config =
+  List.concat
+    [
+      [ Go_insertion.pass ];
+      (if config.static_timing then [ Static_timing.pass ] else []);
+      [ Compile_control.pass; Remove_groups.pass; Dead_cell_removal.pass ];
+    ]
+
+let passes config = optimize config @ lower config
+
+let compile ?(config = default_config) ctx =
+  Well_formed.check ctx;
+  Pass.run_all (passes config) ctx

@@ -1,0 +1,32 @@
+(** Standard pass pipelines (the command-line's [-p] aliases).
+
+    The full compilation flow of the paper is
+    {!optimize} (resource sharing, register sharing, latency inference)
+    followed by {!lower} (GoInsertion, optional latency-sensitive
+    compilation, CompileControl, RemoveGroups, cleanup). Every knob of the
+    evaluation section maps to a flag here. *)
+
+type config = {
+  infer_latency : bool;  (** Section 5.3. *)
+  resource_sharing : bool;  (** Section 5.1. *)
+  register_sharing : bool;  (** Section 5.2. *)
+  static_timing : bool;  (** Section 4.4, the Sensitive pass. *)
+}
+
+val default_config : config
+(** Everything on — the paper's "all optimizations" configuration. *)
+
+val insensitive_config : config
+(** Everything off: pure latency-insensitive compilation. *)
+
+val optimize : config -> Pass.t list
+(** Starts with {!Compile_invoke} (always on), then the enabled
+    optimizations. *)
+
+val lower : config -> Pass.t list
+
+val compile : ?config:config -> Ir.context -> Ir.context
+(** Run the whole pipeline; validates after every pass. *)
+
+val passes : config -> Pass.t list
+(** The passes {!compile} runs, in order. *)

@@ -1,0 +1,42 @@
+open Ir
+module SS = String_set
+
+let registers comp =
+  List.fold_left
+    (fun acc c ->
+      match c.cell_proto with
+      | Prim ("std_reg", _) -> SS.add c.cell_name acc
+      | _ -> acc)
+    SS.empty comp.cells
+
+let reads comp group =
+  let regs = registers comp in
+  List.fold_left
+    (fun acc a ->
+      List.fold_left
+        (fun acc atom ->
+          match atom with
+          | Port (Cell_port (c, "out")) when SS.mem c regs -> SS.add c acc
+          | _ -> acc)
+        acc (assignment_atoms a))
+    SS.empty group.assigns
+
+let may_writes comp group =
+  let regs = registers comp in
+  List.fold_left
+    (fun acc a ->
+      match a.dst with
+      | Cell_port (c, ("in" | "write_en")) when SS.mem c regs -> SS.add c acc
+      | _ -> acc)
+    SS.empty group.assigns
+
+let must_writes comp group =
+  let regs = registers comp in
+  List.fold_left
+    (fun acc a ->
+      match (a.dst, a.guard, a.src) with
+      | Cell_port (c, "write_en"), True, Lit v
+        when SS.mem c regs && Bitvec.is_true v ->
+          SS.add c acc
+      | _ -> acc)
+    SS.empty group.assigns

@@ -1,0 +1,35 @@
+open Ir
+module SS = String_set
+module SM = String_map
+
+let reg_width comp name =
+  match (find_cell comp name).cell_proto with
+  | Prim ("std_reg", [ w ]) -> w
+  | _ -> ir_error "register-sharing: %s is not a register" name
+
+let sharing_map (_ctx : context) comp =
+  let { Liveness.conflict_cliques; _ } = Liveness.analyze comp in
+  let regs = Read_write_set.registers comp in
+  let graph = Graph_coloring.create () in
+  SS.iter (Graph_coloring.add_node graph) regs;
+  List.iter
+    (fun clique -> Graph_coloring.add_clique graph (SS.elements clique))
+    conflict_cliques;
+  let cls name = string_of_int (reg_width comp name) in
+  let order =
+    List.filter_map
+      (fun c ->
+        match c.cell_proto with
+        | Prim ("std_reg", _) -> Some c.cell_name
+        | _ -> None)
+      comp.cells
+  in
+  Graph_coloring.greedy graph ~cls ~order
+
+let share (ctx : context) comp =
+  Resource_sharing.apply_map comp (sharing_map ctx comp)
+
+let pass =
+  Pass.make ~name:"register-sharing"
+    ~description:"merge registers with disjoint live ranges"
+    (Pass.per_component share)

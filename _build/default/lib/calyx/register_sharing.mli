@@ -1,0 +1,11 @@
+(** Register sharing via live-range analysis (Section 5.2).
+
+    Uses {!Liveness} to find registers with disjoint live ranges, colors the
+    interference graph greedily (width-for-width), and renames registers
+    throughout the component. Registers read by continuous assignments are
+    never shared (their value is observable at all times). *)
+
+val pass : Pass.t
+
+val sharing_map : Ir.context -> Ir.component -> string Ir.String_map.t
+(** The register-to-representative map the pass would apply. *)

@@ -1,0 +1,22 @@
+(** The RemoveGroups pass (Section 4.2, step 3).
+
+    Eliminates interface signals and dissolves groups after
+    {!Compile_control} has reduced each component's control program to a
+    single group enable:
+
+    + materializes every referenced [go]/[done] hole as a 1-bit wire cell:
+      writes to the hole become guarded drivers of the wire's input (their
+      disjunction) and reads become reads of its output — keeping the
+      generated logic linear in the program size, as a real RTL backend's
+      named wires would;
+    + wires the calling convention: the top group's [go] is driven while
+      the component's [go] input is high and its [done] has not fired, and
+      the component's [done] output follows the top group's [done];
+    + moves all remaining assignments into the top-level [wires] section and
+      deletes the groups.
+
+    The result is a flat, control-free component that the {!Calyx_verilog}
+    backend translates directly to SystemVerilog and the flat simulator
+    executes. *)
+
+val pass : Pass.t

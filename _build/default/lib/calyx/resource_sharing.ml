@@ -1,0 +1,139 @@
+open Ir
+module SS = String_set
+module SM = String_map
+
+let proto_key = function
+  | Prim (name, params) ->
+      name ^ "(" ^ String.concat "," (List.map string_of_int params) ^ ")"
+  | Comp name -> name ^ "()"
+
+let shareable ctx cell =
+  Attrs.shareable cell.cell_attrs
+  ||
+  match cell.cell_proto with
+  | Prim (name, _) -> (
+      match Prims.find name with
+      | Some info -> info.shareable && not info.stateful
+      | None -> false)
+  | Comp name -> (
+      match find_component_opt ctx name with
+      | Some c -> Attrs.shareable c.comp_attrs
+      | None -> false)
+
+(* Cells a group uses (in any role). *)
+let cells_used group =
+  List.fold_left
+    (fun acc a ->
+      let add acc = function
+        | Port (Cell_port (c, _)) -> SS.add c acc
+        | _ -> acc
+      in
+      let acc = match a.dst with Cell_port (c, _) -> SS.add c acc | _ -> acc in
+      List.fold_left add acc (assignment_atoms a))
+    SS.empty group.assigns
+
+(* Rough per-primitive LUT weight, for the profitability heuristic
+   (Section 9's "target-specific optimization" direction): sharing a cell
+   saves its logic but inserts input multiplexers (~width/3 LUTs per input
+   port per extra driver), so sharing only pays off for cells whose logic
+   outweighs the steering. *)
+let sharing_profit = function
+  | Prim (("std_add" | "std_sub"), [ w ]) -> w
+  | Prim (("std_lsh" | "std_rsh"), [ w ]) -> w * 2
+  | Prim ("std_mult", [ w ]) -> w * 8
+  | Prim (("std_lt" | "std_gt" | "std_le" | "std_ge"), [ w ]) -> w / 2
+  | Prim (("std_eq" | "std_neq"), [ w ]) -> w / 3
+  | Prim (("std_and" | "std_or" | "std_xor" | "std_not"), [ w ]) -> w / 3
+  | Prim _ -> 0
+  | Comp _ -> 64 (* user components are presumed substantial *)
+
+let cost_guided proto =
+  (* Two 2:1 input muxes at the cell's width cost roughly 2*(w/3) LUTs. *)
+  let mux_cost =
+    match proto with
+    | Prim (_, w :: _) -> 2 * ((w + 2) / 3)
+    | Prim (_, []) | Comp _ -> 8
+  in
+  sharing_profit proto > mux_cost
+
+let sharing_map ?(profitable = fun _ -> true) ctx comp =
+  let candidates =
+    List.filter
+      (fun c -> shareable ctx c && profitable c.cell_proto)
+      comp.cells
+  in
+  (* Cells referenced by continuous assignments are permanently in use. *)
+  let continuous_cells =
+    List.fold_left
+      (fun acc a ->
+        let add acc = function
+          | Port (Cell_port (c, _)) -> SS.add c acc
+          | _ -> acc
+        in
+        let acc = match a.dst with Cell_port (c, _) -> SS.add c acc | _ -> acc in
+        List.fold_left add acc (assignment_atoms a))
+      SS.empty comp.continuous
+  in
+  let candidates =
+    List.filter
+      (fun c -> not (SS.mem c.cell_name continuous_cells))
+      candidates
+  in
+  let candidate_names = SS.of_list (List.map (fun c -> c.cell_name) candidates) in
+  let graph = Graph_coloring.create () in
+  SS.iter (Graph_coloring.add_node graph) candidate_names;
+  let usage =
+    List.map (fun g -> (g.group_name, SS.inter (cells_used g) candidate_names))
+      comp.groups
+  in
+  (* Cells used within one group conflict. *)
+  List.iter
+    (fun (_, cells) -> Graph_coloring.add_clique graph (SS.elements cells))
+    usage;
+  (* Cells used by groups that may run in parallel conflict. *)
+  let usage_of g = Option.value ~default:SS.empty (List.assoc_opt g usage) in
+  List.iter
+    (fun (g1, g2) ->
+      SS.iter
+        (fun c1 -> SS.iter (fun c2 -> Graph_coloring.add_edge graph c1 c2) (usage_of g2))
+        (usage_of g1))
+    (Schedule_conflicts.conflicts comp.control);
+  let cls name = proto_key (find_cell comp name).cell_proto in
+  Graph_coloring.greedy graph ~cls
+    ~order:
+      (List.filter_map
+         (fun c ->
+           if SS.mem c.cell_name candidate_names then Some c.cell_name else None)
+         comp.cells)
+
+let apply_map comp mapping =
+  let rename_cell c = Option.value ~default:c (SM.find_opt c mapping) in
+  let rename = function
+    | Cell_port (c, p) -> Cell_port (rename_cell c, p)
+    | p -> p
+  in
+  let comp = map_assignments (map_assignment_ports rename) comp in
+  let control =
+    map_control
+      (function
+        | If r -> If { r with cond_port = rename r.cond_port }
+        | While r -> While { r with cond_port = rename r.cond_port }
+        | c -> c)
+      comp.control
+  in
+  { comp with control }
+
+let share ?profitable (ctx : context) comp =
+  apply_map comp (sharing_map ?profitable ctx comp)
+
+let pass =
+  Pass.make ~name:"resource-sharing"
+    ~description:"share combinational cells across temporally disjoint groups"
+    (Pass.per_component (fun ctx comp -> share ctx comp))
+
+let heuristic_pass =
+  Pass.make ~name:"resource-sharing-heuristic"
+    ~description:
+      "share combinational cells only where the saved logic outweighs the \
+       inserted multiplexers"
+    (Pass.per_component (fun ctx comp -> share ~profitable:cost_guided ctx comp))

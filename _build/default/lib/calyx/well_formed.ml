@@ -1,0 +1,221 @@
+open Ir
+
+exception Malformed of string list
+
+let check_component ctx comp =
+  let problems = ref [] in
+  let problem fmt =
+    Format.kasprintf
+      (fun s -> problems := Printf.sprintf "%s: %s" comp.comp_name s :: !problems)
+      fmt
+  in
+  let check_duplicates what names =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun n ->
+        if Hashtbl.mem tbl n then problem "duplicate %s %s" what n
+        else Hashtbl.add tbl n ())
+      names
+  in
+  check_duplicates "cell" (List.map (fun c -> c.cell_name) comp.cells);
+  check_duplicates "group" (List.map (fun g -> g.group_name) comp.groups);
+  check_duplicates "port"
+    (List.map (fun pd -> pd.pd_name) (signature_ports comp));
+  (* Cells must instantiate known primitives or components. *)
+  List.iter
+    (fun c ->
+      match c.cell_proto with
+      | Prim (name, params) -> (
+          match Prims.find name with
+          | None -> problem "cell %s: unknown primitive %s" c.cell_name name
+          | Some info -> (
+              try ignore (info.make_ports params)
+              with Invalid_argument msg -> problem "cell %s: %s" c.cell_name msg))
+      | Comp name -> (
+          match find_component_opt ctx name with
+          | None -> problem "cell %s: unknown component %s" c.cell_name name
+          | Some sub ->
+              if String.equal sub.comp_name comp.comp_name then
+                problem "cell %s: recursive instantiation of %s" c.cell_name name))
+    comp.cells;
+  (* Port reference resolution + direction checks for assignments. *)
+  let group_exists g = find_group_opt comp g <> None in
+  let port_info p =
+    (* Returns (width, is_readable, is_writable) or None with a problem. *)
+    match p with
+    | Hole (g, h) ->
+        if not (group_exists g) then begin
+          problem "reference to hole of unknown group %s" g;
+          None
+        end
+        else if not (List.mem h [ "go"; "done" ]) then begin
+          problem "unknown hole %s[%s]" g h;
+          None
+        end
+        else Some (1, true, true)
+    | This name -> (
+        match
+          List.find_opt
+            (fun pd -> String.equal pd.pd_name name)
+            (signature_ports comp)
+        with
+        | None ->
+            problem "unknown component port %s" name;
+            None
+        | Some pd ->
+            (* Inside the component, inputs are read and outputs written. *)
+            Some (pd.pd_width, pd.pd_dir = Input, pd.pd_dir = Output))
+    | Cell_port (c, p) -> (
+        match find_cell_opt comp c with
+        | None ->
+            problem "reference to unknown cell %s" c;
+            None
+        | Some cell -> (
+            match
+              try
+                List.find_opt
+                  (fun (n, _, _) -> String.equal n p)
+                  (cell_ports ctx cell.cell_proto)
+              with Ir_error _ | Prims.Unknown_primitive _ -> None
+            with
+            | None ->
+                problem "cell %s has no port %s" c p;
+                None
+            | Some (_, w, dir) ->
+                (* Outputs of cells are read; inputs are written. *)
+                Some (w, dir = Output, dir = Input)))
+  in
+  let atom_info = function
+    | Port p -> port_info p
+    | Lit v -> Some (Bitvec.width v, true, false)
+  in
+  let check_assignment where a =
+    (match port_info a.dst with
+    | Some (_, _, false) ->
+        problem "%s: %a is not writable (not a cell input or component output)"
+          where pp_port_ref a.dst
+    | _ -> ());
+    (match atom_info a.src with
+    | Some (_, false, _) ->
+        problem "%s: %a is not readable" where pp_atom a.src
+    | _ -> ());
+    (match (port_info a.dst, atom_info a.src) with
+    | Some (dw, _, _), Some (sw, _, _) when dw <> sw ->
+        problem "%s: width mismatch in %a = %a (%d vs %d)" where pp_port_ref
+          a.dst pp_atom a.src dw sw
+    | _ -> ());
+    List.iter
+      (fun atom ->
+        match atom_info atom with
+        | Some (_, false, _) -> problem "%s: guard reads unreadable %a" where pp_atom atom
+        | _ -> ())
+      (guard_atoms a.guard);
+    let rec check_cmp_widths = function
+      | True | Atom _ -> ()
+      | Cmp (_, x, y) -> (
+          match (atom_info x, atom_info y) with
+          | Some (wx, _, _), Some (wy, _, _) when wx <> wy ->
+              problem "%s: comparison width mismatch %a vs %a" where pp_atom x
+                pp_atom y
+          | _ -> ())
+      | And (g1, g2) | Or (g1, g2) ->
+          check_cmp_widths g1;
+          check_cmp_widths g2
+      | Not g -> check_cmp_widths g
+    in
+    check_cmp_widths a.guard
+  in
+  List.iter (check_assignment "continuous assignment") comp.continuous;
+  List.iter
+    (fun g ->
+      let where = Printf.sprintf "group %s" g.group_name in
+      List.iter (check_assignment where) g.assigns;
+      (* Every group must signal completion (Section 3.3). *)
+      let drives_done =
+        List.exists
+          (fun a ->
+            match a.dst with
+            | Hole (gr, "done") -> String.equal gr g.group_name
+            | _ -> false)
+          g.assigns
+      in
+      if not drives_done then problem "%s does not drive its done hole" where;
+      (* Unique unconditional drivers within a group. *)
+      let seen = Hashtbl.create 8 in
+      List.iter
+        (fun a ->
+          if a.guard = True then begin
+            if Hashtbl.mem seen a.dst then
+              problem "%s: multiple unconditional drivers of %a" where
+                pp_port_ref a.dst
+            else Hashtbl.add seen a.dst ()
+          end)
+        g.assigns)
+    comp.groups;
+  (* Control references. *)
+  let check_cond cond_group cond_port =
+    (match cond_group with
+    | Some g when not (group_exists g) ->
+        problem "control uses unknown condition group %s" g
+    | _ -> ());
+    match port_info cond_port with
+    | Some (w, _, _) when w <> 1 ->
+        problem "condition port %a must be 1 bit wide, got %d" pp_port_ref
+          cond_port w
+    | _ -> ()
+  in
+  iter_control
+    (function
+      | Enable (g, _) ->
+          if not (group_exists g) then
+            problem "control enables unknown group %s" g
+      | If { cond_group; cond_port; _ } -> check_cond cond_group cond_port
+      | While { cond_group; cond_port; _ } -> check_cond cond_group cond_port
+      | Invoke { cell; invoke_inputs; _ } -> (
+          match find_cell_opt comp cell with
+          | None -> problem "invoke of unknown cell %s" cell
+          | Some c ->
+              let ports =
+                try cell_ports ctx c.cell_proto
+                with Ir_error _ | Prims.Unknown_primitive _ -> []
+              in
+              let has name dir =
+                List.exists
+                  (fun (n, _, d) -> String.equal n name && d = dir)
+                  ports
+              in
+              if not (has "go" Input && has "done" Output) then
+                problem "invoke target %s has no go/done interface" cell;
+              List.iter
+                (fun (p, a) ->
+                  match
+                    List.find_opt (fun (n, _, _) -> String.equal n p) ports
+                  with
+                  | None -> problem "invoke of %s: no input port %s" cell p
+                  | Some (_, w, dir) -> (
+                      if dir <> Input then
+                        problem "invoke of %s: %s is not an input" cell p;
+                      match atom_info a with
+                      | Some (aw, _, _) when aw <> w ->
+                          problem
+                            "invoke of %s: width mismatch on %s (%d vs %d)"
+                            cell p aw w
+                      | Some (_, false, _) ->
+                          problem "invoke of %s: %a is not readable" cell
+                            pp_atom a
+                      | _ -> ()))
+                invoke_inputs)
+      | Empty | Seq _ | Par _ -> ())
+    comp.control;
+  List.rev !problems
+
+let errors ctx =
+  (match find_component_opt ctx ctx.entrypoint with
+  | Some _ -> []
+  | None -> [ Printf.sprintf "entrypoint component %s not found" ctx.entrypoint ])
+  @ List.concat_map
+      (fun c -> if c.is_extern <> None then [] else check_component ctx c)
+      ctx.components
+
+let check ctx =
+  match errors ctx with [] -> () | problems -> raise (Malformed problems)

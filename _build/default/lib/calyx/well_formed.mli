@@ -1,0 +1,18 @@
+(** Structural validation of Calyx programs.
+
+    Checks the invariants the rest of the compiler relies on: resolvable
+    names, direction-correct and width-correct assignments, groups that
+    drive their own [done] hole, control programs that reference existing
+    groups, and no duplicate unconditional drivers within a group. *)
+
+exception Malformed of string list
+(** All collected problems, one message each. *)
+
+val check : Ir.context -> unit
+(** Validate a whole program; raises {!Malformed} when anything is wrong. *)
+
+val check_component : Ir.context -> Ir.component -> string list
+(** All problems found in one component (empty when well-formed). *)
+
+val errors : Ir.context -> string list
+(** All problems in the program, without raising. *)

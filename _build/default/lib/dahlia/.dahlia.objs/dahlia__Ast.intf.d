@@ -1,0 +1,1 @@
+lib/dahlia/ast.mli: Format

@@ -1,0 +1,1 @@
+lib/dahlia/lowering.ml: Ast Calyx Format Fun Hashtbl List Option Printf String Typecheck

@@ -1,0 +1,1 @@
+lib/dahlia/lowering.mli: Ast

@@ -1,0 +1,1 @@
+lib/dahlia/parser.ml: Ast Format List Printf String

@@ -1,0 +1,1 @@
+lib/dahlia/parser.mli: Ast

@@ -1,0 +1,1 @@
+lib/dahlia/to_calyx.ml: Ast Attrs Builder Calyx Compile_control Format Hashtbl Ir List Lowering Option Prims Printf Typecheck Well_formed

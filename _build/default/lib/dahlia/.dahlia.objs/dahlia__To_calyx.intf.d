@@ -1,0 +1,1 @@
+lib/dahlia/to_calyx.mli: Ast Calyx

@@ -1,0 +1,1 @@
+lib/dahlia/typecheck.ml: Ast Calyx Format List Option

@@ -1,0 +1,1 @@
+lib/dahlia/typecheck.mli: Ast

@@ -1,0 +1,107 @@
+type typ = UBit of int
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | BAnd
+  | BOr
+  | BXor
+  | Shl
+  | Shr
+  | Lt
+  | Gt
+  | Le
+  | Ge
+  | Eq
+  | Neq
+
+type expr =
+  | EInt of int
+  | EVar of string
+  | ERead of string * expr list
+  | EBinop of binop * expr * expr
+  | ESqrt of expr
+
+type stmt =
+  | SSkip
+  | SLet of string * typ * expr
+  | SAssign of string * expr
+  | SStore of string * expr list * expr
+  | SIf of expr * stmt * stmt
+  | SWhile of expr * stmt
+  | SFor of {
+      var : string;
+      var_typ : typ;
+      lo : int;
+      hi : int;
+      unroll : int;
+      body : stmt;
+    }
+  | SSeq of stmt list
+  | SPar of stmt list
+
+type dim = { size : int; bank : int }
+type decl = { decl_name : string; elem : typ; dims : dim list }
+type prog = { decls : decl list; body : stmt }
+
+let is_pipe_op = function Mul | Div | Rem -> true | _ -> false
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Rem -> "%"
+  | BAnd -> "&"
+  | BOr -> "|"
+  | BXor -> "^"
+  | Shl -> "<<"
+  | Shr -> ">>"
+  | Lt -> "<"
+  | Gt -> ">"
+  | Le -> "<="
+  | Ge -> ">="
+  | Eq -> "=="
+  | Neq -> "!="
+
+let rec pp_expr fmt = function
+  | EInt v -> Format.pp_print_int fmt v
+  | EVar x -> Format.pp_print_string fmt x
+  | ERead (m, idxs) ->
+      Format.fprintf fmt "%s%a" m
+        (Format.pp_print_list ~pp_sep:(fun _ () -> ())
+           (fun fmt e -> Format.fprintf fmt "[%a]" pp_expr e))
+        idxs
+  | EBinop (op, a, b) ->
+      Format.fprintf fmt "(%a %s %a)" pp_expr a (binop_name op) pp_expr b
+  | ESqrt e -> Format.fprintf fmt "sqrt(%a)" pp_expr e
+
+let rec pp_stmt fmt = function
+  | SSkip -> Format.pp_print_string fmt "skip"
+  | SLet (x, UBit w, e) ->
+      Format.fprintf fmt "let %s: ubit<%d> = %a" x w pp_expr e
+  | SAssign (x, e) -> Format.fprintf fmt "%s := %a" x pp_expr e
+  | SStore (m, idxs, e) ->
+      Format.fprintf fmt "%s%a := %a" m
+        (Format.pp_print_list ~pp_sep:(fun _ () -> ())
+           (fun fmt e -> Format.fprintf fmt "[%a]" pp_expr e))
+        idxs pp_expr e
+  | SIf (c, t, f) ->
+      Format.fprintf fmt "@[<v 2>if (%a) {@,%a@]@,} else {@,%a@,}" pp_expr c
+        pp_stmt t pp_stmt f
+  | SWhile (c, body) ->
+      Format.fprintf fmt "@[<v 2>while (%a) {@,%a@]@,}" pp_expr c pp_stmt body
+  | SFor { var; var_typ = UBit w; lo; hi; unroll; body } ->
+      Format.fprintf fmt "@[<v 2>for (let %s: ubit<%d> = %d..%d) unroll %d {@,%a@]@,}"
+        var w lo hi unroll pp_stmt body
+  | SSeq stmts ->
+      Format.pp_print_list
+        ~pp_sep:(fun fmt () -> Format.fprintf fmt "@,---@,")
+        pp_stmt fmt stmts
+  | SPar stmts ->
+      Format.pp_print_list
+        ~pp_sep:(fun fmt () -> Format.fprintf fmt ";@,")
+        pp_stmt fmt stmts

@@ -1,0 +1,70 @@
+(** Abstract syntax of the Dahlia dialect (Section 6.2).
+
+    The subset covers "lowered Dahlia" plus the conveniences the paper
+    mentions: typed variables ([ubit<N>]), 1-D/2-D memories with optional
+    banking, [for] loops with an [unroll] factor, [while] loops,
+    conditionals, and Dahlia's two composition operators — unordered [;]
+    and ordered [---]. *)
+
+type typ = UBit of int  (** Unsigned bit vector of the given width. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | BAnd
+  | BOr
+  | BXor
+  | Shl
+  | Shr
+  | Lt
+  | Gt
+  | Le
+  | Ge
+  | Eq
+  | Neq
+
+type expr =
+  | EInt of int  (** Width inferred from context. *)
+  | EVar of string
+  | ERead of string * expr list  (** Memory read [a[i]] or [a[i][j]]. *)
+  | EBinop of binop * expr * expr
+  | ESqrt of expr  (** Data-dependent latency (Section 6.2's extern). *)
+
+type stmt =
+  | SSkip
+  | SLet of string * typ * expr  (** [let x: ubit<32> = e]. *)
+  | SAssign of string * expr  (** [x := e]. *)
+  | SStore of string * expr list * expr  (** [a[i] := e]. *)
+  | SIf of expr * stmt * stmt
+  | SWhile of expr * stmt
+  | SFor of {
+      var : string;
+      var_typ : typ;
+      lo : int;
+      hi : int;  (** Iterates [lo <= var < hi]. *)
+      unroll : int;
+      body : stmt;
+    }
+  | SSeq of stmt list  (** Ordered composition [---]. *)
+  | SPar of stmt list  (** Unordered composition [;]. *)
+
+type dim = { size : int; bank : int }
+
+type decl = {
+  decl_name : string;
+  elem : typ;
+  dims : dim list;  (** Empty for a scalar input register. *)
+}
+
+type prog = { decls : decl list; body : stmt }
+
+val is_pipe_op : binop -> bool
+(** Operators with multi-cycle latency ([Mul], [Div], [Rem]). *)
+
+val binop_name : binop -> string
+
+val pp_expr : Format.formatter -> expr -> unit
+val pp_stmt : Format.formatter -> stmt -> unit

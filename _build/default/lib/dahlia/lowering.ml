@@ -1,0 +1,480 @@
+open Ast
+module SM = Calyx.Ir.String_map
+
+exception Lowering_error of string
+
+let lowering_error fmt =
+  Format.kasprintf (fun s -> raise (Lowering_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Substitution, renaming, folding                                     *)
+(* ------------------------------------------------------------------ *)
+
+let rec subst_expr map = function
+  | EInt _ as e -> e
+  | EVar x as e -> ( match SM.find_opt x map with Some e' -> e' | None -> e)
+  | ERead (m, idxs) -> ERead (m, List.map (subst_expr map) idxs)
+  | EBinop (op, a, b) -> EBinop (op, subst_expr map a, subst_expr map b)
+  | ESqrt e -> ESqrt (subst_expr map e)
+
+let rec fold_expr = function
+  | (EInt _ | EVar _) as e -> e
+  | ERead (m, idxs) -> ERead (m, List.map fold_expr idxs)
+  | ESqrt e -> ESqrt (fold_expr e)
+  | EBinop (op, a, b) -> (
+      let a = fold_expr a and b = fold_expr b in
+      match (a, b) with
+      | EInt x, EInt y -> (
+          let bool_int p = EInt (if p then 1 else 0) in
+          match op with
+          | Add -> EInt (x + y)
+          | Sub when x >= y -> EInt (x - y)
+          | Mul -> EInt (x * y)
+          | Div when y <> 0 -> EInt (x / y)
+          | Rem when y <> 0 -> EInt (x mod y)
+          | BAnd -> EInt (x land y)
+          | BOr -> EInt (x lor y)
+          | BXor -> EInt (x lxor y)
+          | Shl when y < 62 -> EInt (x lsl y)
+          | Shr -> EInt (x lsr y)
+          | Lt -> bool_int (x < y)
+          | Gt -> bool_int (x > y)
+          | Le -> bool_int (x <= y)
+          | Ge -> bool_int (x >= y)
+          | Eq -> bool_int (x = y)
+          | Neq -> bool_int (x <> y)
+          | _ -> EBinop (op, a, b))
+      | _ -> EBinop (op, a, b))
+
+(* ------------------------------------------------------------------ *)
+(* Renaming and unrolling                                              *)
+(* ------------------------------------------------------------------ *)
+
+type rn = { mutable counter : int }
+
+let fresh rn base =
+  let n = rn.counter in
+  rn.counter <- n + 1;
+  Printf.sprintf "%s__%d" base n
+
+(* Alpha-rename binders and unroll for loops in one pass. [map] renames
+   variables in scope. *)
+let rec rename_unroll rn map = function
+  | SSkip -> (SSkip, map)
+  | SLet (x, t, e) ->
+      let x' = fresh rn x in
+      (SLet (x', t, fold_expr (subst_expr map e)), SM.add x (EVar x') map)
+  | SAssign (x, e) ->
+      let x' = match SM.find_opt x map with Some (EVar v) -> v | _ -> x in
+      (SAssign (x', fold_expr (subst_expr map e)), map)
+  | SStore (m, idxs, e) ->
+      ( SStore
+          ( m,
+            List.map (fun i -> fold_expr (subst_expr map i)) idxs,
+            fold_expr (subst_expr map e) ),
+        map )
+  | SIf (c, t, f) ->
+      let t', _ = rename_unroll rn map t in
+      let f', _ = rename_unroll rn map f in
+      (SIf (fold_expr (subst_expr map c), t', f'), map)
+  | SWhile (c, b) ->
+      let b', _ = rename_unroll rn map b in
+      (SWhile (fold_expr (subst_expr map c), b'), map)
+  | SSeq ss ->
+      let ss', map' =
+        List.fold_left
+          (fun (acc, map) s ->
+            let s', map' = rename_unroll rn map s in
+            (s' :: acc, map'))
+          ([], map) ss
+      in
+      (SSeq (List.rev ss'), map')
+  | SPar ss ->
+      let ss', map' =
+        List.fold_left
+          (fun (acc, map) s ->
+            let s', map' = rename_unroll rn map s in
+            (s' :: acc, map'))
+          ([], map) ss
+      in
+      (SPar (List.rev ss'), map')
+  | SFor { var; var_typ = UBit w; lo; hi; unroll; body } ->
+      let trip = hi - lo in
+      if trip = 0 then (SSkip, map)
+      else if unroll = trip then begin
+        (* Full unroll: parallel copies with a constant index. *)
+        let copies =
+          List.init trip (fun k ->
+              let map' = SM.add var (EInt (lo + k)) map in
+              let body', _ = rename_unroll rn map' body in
+              body')
+        in
+        ((match copies with [ c ] -> c | cs -> SPar cs), map)
+      end
+      else begin
+        (* Factor 1: an index register driving a while loop. *)
+        let i = fresh rn var in
+        let map' = SM.add var (EVar i) map in
+        let body', _ = rename_unroll rn map' body in
+        ( SSeq
+            [
+              SLet (i, UBit w, EInt lo);
+              SWhile
+                ( EBinop (Lt, EVar i, EInt hi),
+                  SSeq [ body'; SAssign (i, EBinop (Add, EVar i, EInt 1)) ] );
+            ],
+          map )
+      end
+
+(* ------------------------------------------------------------------ *)
+(* Memory banking                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let bank_name base banks = Printf.sprintf "%s__bank%s" base
+    (String.concat "_" (List.map string_of_int banks))
+
+let is_banked d = List.exists (fun dim -> dim.bank > 1) d.dims
+
+(* Resolve one access: returns (physical name, offset indices). *)
+let resolve_access decls m idxs =
+  match SM.find_opt m decls with
+  | None -> lowering_error "unknown memory %s" m
+  | Some d ->
+      if not (is_banked d) then (m, idxs)
+      else begin
+        let banks, offsets =
+          List.split
+            (List.map2
+               (fun dim idx ->
+                 if dim.bank = 1 then (0, idx)
+                 else
+                   match fold_expr idx with
+                   | EInt v -> (v mod dim.bank, EInt (v / dim.bank))
+                   | e ->
+                       lowering_error
+                         "banked dimension of %s indexed by non-constant %a \
+                          (unroll the enclosing loop fully)"
+                         m (fun fmt -> pp_expr fmt) e)
+               d.dims idxs)
+        in
+        (bank_name m banks, offsets)
+      end
+
+let rec bank_expr decls = function
+  | (EInt _ | EVar _) as e -> e
+  | ERead (m, idxs) ->
+      let m', idxs' = resolve_access decls m (List.map (bank_expr decls) idxs) in
+      ERead (m', idxs')
+  | EBinop (op, a, b) -> EBinop (op, bank_expr decls a, bank_expr decls b)
+  | ESqrt e -> ESqrt (bank_expr decls e)
+
+let rec bank_stmt decls = function
+  | SSkip -> SSkip
+  | SLet (x, t, e) -> SLet (x, t, bank_expr decls e)
+  | SAssign (x, e) -> SAssign (x, bank_expr decls e)
+  | SStore (m, idxs, e) ->
+      let m', idxs' = resolve_access decls m (List.map (bank_expr decls) idxs) in
+      SStore (m', idxs', bank_expr decls e)
+  | SIf (c, t, f) -> SIf (bank_expr decls c, bank_stmt decls t, bank_stmt decls f)
+  | SWhile (c, b) -> SWhile (bank_expr decls c, bank_stmt decls b)
+  | SFor _ -> lowering_error "for loop survived unrolling"
+  | SSeq ss -> SSeq (List.map (bank_stmt decls) ss)
+  | SPar ss -> SPar (List.map (bank_stmt decls) ss)
+
+let expand_decl d =
+  if not (is_banked d) then [ d ]
+  else begin
+    let rec combos = function
+      | [] -> [ [] ]
+      | dim :: rest ->
+          let tails = combos rest in
+          List.concat_map
+            (fun b -> List.map (fun t -> b :: t) tails)
+            (List.init dim.bank Fun.id)
+    in
+    List.map
+      (fun banks ->
+        {
+          decl_name = bank_name d.decl_name banks;
+          elem = d.elem;
+          dims =
+            List.map (fun dim -> { size = dim.size / dim.bank; bank = 1 }) d.dims;
+        })
+      (combos d.dims)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Normalization: hoist pipes and extra memory reads                   *)
+(* ------------------------------------------------------------------ *)
+
+type norm_env = {
+  rn : rn;
+  widths : int SM.t ref;  (* variable widths, for temporaries *)
+  mems : decl SM.t;
+}
+
+let mem_width env m =
+  match SM.find_opt m env.mems with
+  | Some d -> (match d.elem with UBit w -> w)
+  | None -> lowering_error "unknown memory %s" m
+
+let width_of env e =
+  match
+    Typecheck.expr_width
+      ~width_of_var:(fun x -> SM.find_opt x !(env.widths))
+      ~width_of_mem:(fun m ->
+        Option.map (fun d -> match d.elem with UBit w -> w) (SM.find_opt m env.mems))
+      e
+  with
+  | Some w -> w
+  | None -> lowering_error "cannot infer the width of %a" (fun fmt -> pp_expr fmt) e
+
+(* Normalize an expression to be combinational: hoists pipe sub-expressions
+   (and duplicate memory reads) into prefix statements. [reads] tracks the
+   index lists already used per memory within the enclosing statement. *)
+let rec norm_comb env reads prefix e =
+  match e with
+  | EInt _ | EVar _ -> e
+  | ERead (m, idxs) ->
+      let idxs = List.map (norm_comb env reads prefix) idxs in
+      let key = List.map (Format.asprintf "%a" pp_expr) idxs in
+      (match Hashtbl.find_opt reads m with
+      | None ->
+          Hashtbl.add reads m key;
+          ERead (m, idxs)
+      | Some key' when key' = key -> ERead (m, idxs)
+      | Some _ ->
+          (* Second distinct read of the same memory: hoist it. *)
+          let w = mem_width env m in
+          let tmp = fresh env.rn "_rd" in
+          env.widths := SM.add tmp w !(env.widths);
+          prefix := SLet (tmp, UBit w, ERead (m, idxs)) :: !prefix;
+          EVar tmp)
+  | ESqrt _ | EBinop ((Mul | Div | Rem), _, _) ->
+      (* A pipe inside a combinational context becomes a temporary computed
+         by its own (pipe-rooted) statement; its operands may hoist further
+         statements onto the shared prefix. *)
+      let w = width_of env e in
+      let tmp = fresh env.rn "_t" in
+      env.widths := SM.add tmp w !(env.widths);
+      let rooted = norm_pipe_root env prefix e in
+      prefix := SLet (tmp, UBit w, rooted) :: !prefix;
+      EVar tmp
+  | EBinop (op, a, b) ->
+      let a = norm_comb env reads prefix a in
+      let b = norm_comb env reads prefix b in
+      EBinop (op, a, b)
+
+(* Normalize an expression allowed to have one pipe at its root. The rooted
+   statement gets its own memory-read tracking (it runs in its own logical
+   step); nested hoists go onto the shared [prefix]. *)
+and norm_pipe_root env prefix e =
+  match e with
+  | EBinop (op, a, b) when is_pipe_op op ->
+      let reads = Hashtbl.create 4 in
+      let a = norm_comb env reads prefix a in
+      let b = norm_comb env reads prefix b in
+      EBinop (op, a, b)
+  | ESqrt inner ->
+      let reads = Hashtbl.create 4 in
+      ESqrt (norm_comb env reads prefix inner)
+  | _ -> e
+
+(* Normalize the right-hand side of an assignment-like statement: at most
+   one pipe, at the root. Returns (prefix statements, rhs, extra reads
+   table used by the statement's own indices). *)
+let norm_rhs env ?(reads = Hashtbl.create 4) e =
+  let prefix = ref [] in
+  let rhs =
+    match e with
+    | EBinop (op, a, b) when is_pipe_op op ->
+        let a = norm_comb env reads prefix a in
+        let b = norm_comb env reads prefix b in
+        EBinop (op, a, b)
+    | ESqrt inner -> ESqrt (norm_comb env reads prefix inner)
+    | _ -> norm_comb env reads prefix e
+  in
+  (List.rev !prefix, rhs)
+
+let seq_of prefix s = match prefix with [] -> s | ps -> SSeq (ps @ [ s ])
+
+(* Pipes in a condition: hoist to a temporary evaluated before the test
+   (and re-evaluated at the end of each while iteration). *)
+let rec norm_cond env c =
+  let reads = Hashtbl.create 4 in
+  let prefix = ref [] in
+  let c' = norm_comb env reads prefix c in
+  (List.rev !prefix, c')
+
+and norm_stmt env = function
+  | SSkip -> SSkip
+  | SLet (x, UBit w, e) ->
+      env.widths := SM.add x w !(env.widths);
+      let prefix, rhs = norm_rhs env e in
+      seq_of prefix (SLet (x, UBit w, rhs))
+  | SAssign (x, e) ->
+      let prefix, rhs = norm_rhs env e in
+      seq_of prefix (SAssign (x, rhs))
+  | SStore (m, idxs, e) ->
+      let reads = Hashtbl.create 4 in
+      let iprefix = ref [] in
+      (* The store occupies the memory's port at the store's own index;
+         record it so reads at other indices hoist. *)
+      let idxs = List.map (norm_comb env reads iprefix) idxs in
+      let key = List.map (Format.asprintf "%a" pp_expr) idxs in
+      (match Hashtbl.find_opt reads m with
+      | Some k when k <> key ->
+          lowering_error
+            "store to %s conflicts with a read at a different index; the \
+             normalizer should have hoisted it"
+            m
+      | _ -> Hashtbl.replace reads m key);
+      let prefix, rhs = norm_rhs env ~reads e in
+      seq_of (List.rev !iprefix @ prefix) (SStore (m, idxs, rhs))
+  | SIf (c, t, f) ->
+      let prefix, c' = norm_cond env c in
+      seq_of prefix (SIf (c', norm_stmt env t, norm_stmt env f))
+  | SWhile (c, body) ->
+      let prefix, c' = norm_cond env c in
+      let body' = norm_stmt env body in
+      if prefix = [] then SWhile (c', body')
+      else begin
+        (* Re-evaluate the hoisted condition parts at the end of each
+           iteration: let-temporaries become assignments. *)
+        let reeval =
+          List.map
+            (function
+              | SLet (x, _, e) -> SAssign (x, e)
+              | s -> s)
+            prefix
+        in
+        seq_of prefix (SWhile (c', SSeq [ body'; SSeq reeval ]))
+      end
+  | SFor _ -> lowering_error "for loop survived unrolling"
+  | SSeq ss -> SSeq (List.map (norm_stmt env) ss)
+  | SPar ss -> SPar (List.map (norm_stmt env) ss)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel conflict checking                                          *)
+(* ------------------------------------------------------------------ *)
+
+type footprint = {
+  var_reads : Calyx.Ir.String_set.t;
+  var_writes : Calyx.Ir.String_set.t;
+  mem_reads : (string * string list) list;  (* memory, printed index *)
+  mem_writes : (string * string list) list;
+}
+
+module SS = Calyx.Ir.String_set
+
+let empty_fp =
+  { var_reads = SS.empty; var_writes = SS.empty; mem_reads = []; mem_writes = [] }
+
+let fp_union a b =
+  {
+    var_reads = SS.union a.var_reads b.var_reads;
+    var_writes = SS.union a.var_writes b.var_writes;
+    mem_reads = a.mem_reads @ b.mem_reads;
+    mem_writes = a.mem_writes @ b.mem_writes;
+  }
+
+let rec expr_fp = function
+  | EInt _ -> empty_fp
+  | EVar x -> { empty_fp with var_reads = SS.singleton x }
+  | ERead (m, idxs) ->
+      let fp = List.fold_left (fun acc i -> fp_union acc (expr_fp i)) empty_fp idxs in
+      let key = List.map (Format.asprintf "%a" pp_expr) idxs in
+      { fp with mem_reads = (m, key) :: fp.mem_reads }
+  | EBinop (_, a, b) -> fp_union (expr_fp a) (expr_fp b)
+  | ESqrt e -> expr_fp e
+
+let rec stmt_fp = function
+  | SSkip -> empty_fp
+  | SLet (x, _, e) | SAssign (x, e) ->
+      let fp = expr_fp e in
+      { fp with var_writes = SS.add x fp.var_writes }
+  | SStore (m, idxs, e) ->
+      let fp =
+        List.fold_left (fun acc i -> fp_union acc (expr_fp i)) (expr_fp e) idxs
+      in
+      let key = List.map (Format.asprintf "%a" pp_expr) idxs in
+      { fp with mem_writes = (m, key) :: fp.mem_writes }
+  | SIf (c, t, f) -> fp_union (expr_fp c) (fp_union (stmt_fp t) (stmt_fp f))
+  | SWhile (c, b) -> fp_union (expr_fp c) (stmt_fp b)
+  | SFor { body; _ } -> stmt_fp body
+  | SSeq ss | SPar ss ->
+      List.fold_left (fun acc s -> fp_union acc (stmt_fp s)) empty_fp ss
+
+let check_par_conflicts stmt =
+  let check_pair a b =
+    let fa = stmt_fp a and fb = stmt_fp b in
+    let var_conflicts =
+      SS.union
+        (SS.inter fa.var_writes (SS.union fb.var_reads fb.var_writes))
+        (SS.inter fb.var_writes (SS.union fa.var_reads fa.var_writes))
+    in
+    if not (SS.is_empty var_conflicts) then
+      lowering_error "unordered composition races on variable %s"
+        (SS.choose var_conflicts);
+    let mems fp = fp.mem_writes @ fp.mem_reads in
+    List.iter
+      (fun (m, key) ->
+        (* A write conflicts with any access; reads conflict unless the
+           index is syntactically identical (a shared address). *)
+        if List.exists (fun (m', _) -> String.equal m m') (mems fb)
+           && (List.mem_assoc m fb.mem_writes
+              || List.exists
+                   (fun (m', k') -> String.equal m m' && k' <> key)
+                   fb.mem_reads)
+        then
+          lowering_error "unordered composition conflicts on memory %s" m)
+      fa.mem_writes;
+    List.iter
+      (fun (m, key) ->
+        if List.exists
+             (fun (m', k') -> String.equal m m' && k' <> key)
+             fb.mem_reads
+           || List.mem_assoc m fb.mem_writes
+        then lowering_error "unordered composition conflicts on memory %s port" m)
+      fa.mem_reads
+  in
+  let rec walk = function
+    | SPar ss ->
+        let rec pairs = function
+          | [] -> ()
+          | s :: rest ->
+              List.iter (check_pair s) rest;
+              pairs rest
+        in
+        pairs ss;
+        List.iter walk ss
+    | SSeq ss -> List.iter walk ss
+    | SIf (_, t, f) ->
+        walk t;
+        walk f
+    | SWhile (_, b) -> walk b
+    | SFor { body; _ } -> walk body
+    | SSkip | SLet _ | SAssign _ | SStore _ -> ()
+  in
+  walk stmt
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let lower prog =
+  Typecheck.check prog;
+  let rn = { counter = 0 } in
+  let renamed, _ = rename_unroll rn SM.empty prog.body in
+  let decl_map =
+    List.fold_left (fun acc d -> SM.add d.decl_name d acc) SM.empty prog.decls
+  in
+  let banked = bank_stmt decl_map renamed in
+  let decls = List.concat_map expand_decl prog.decls in
+  let mems =
+    List.fold_left (fun acc d -> SM.add d.decl_name d acc) SM.empty decls
+  in
+  let env = { rn; widths = ref SM.empty; mems } in
+  let normalized = norm_stmt env banked in
+  check_par_conflicts normalized;
+  { decls; body = normalized }

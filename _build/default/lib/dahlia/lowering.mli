@@ -1,0 +1,39 @@
+(** Lowering to "lowered Dahlia" (Section 6.2).
+
+    The paper elides this first compilation step; we implement it:
+
+    + {b alpha renaming} — every binder gets a unique name;
+    + {b loop unrolling} — [unroll 1] loops become [while] loops over a
+      fresh index register; fully unrolled loops are replicated with the
+      index substituted by constants and composed {e unordered} (their
+      iterations run in parallel);
+    + {b constant folding} — so unrolled indices become literals;
+    + {b memory banking} — a dimension [\[n bank b\]] splits the memory into
+      [b] physical memories; constant indices resolve to
+      (bank [i mod b], offset [i / b]). A banked dimension indexed by a
+      non-constant expression is a banking error, mirroring Dahlia's
+      type-system restriction;
+    + {b normalization} — multi-cycle operators ([*], [/], [%], [sqrt]) are
+      hoisted into temporaries so each lowered statement has at most one,
+      at the root of its right-hand side; a statement reads each memory at
+      most once (extra reads are hoisted), matching the single memory port;
+    + {b parallel conflict checking} — unordered composition must not race:
+      no variable written on one side may be touched on the other, and two
+      sides may only read the same physical memory at the syntactically
+      identical index (a shared address line).
+
+    The output contains only the constructs the Calyx backend consumes:
+    lets/assigns/stores with normalized expressions, [if], [while], [seq],
+    [par]. *)
+
+exception Lowering_error of string
+
+val lower : Ast.prog -> Ast.prog
+(** Type-check first ({!Typecheck.check}); raises {!Lowering_error} for
+    banking or parallel-composition violations. *)
+
+val bank_name : string -> int list -> string
+(** Physical name of one bank of a banked memory (one bank index per
+    dimension) — shared with test benches that load banked data. *)
+
+val is_banked : Ast.decl -> bool

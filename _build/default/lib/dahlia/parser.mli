@@ -1,0 +1,18 @@
+(** Parser for the Dahlia surface syntax.
+
+    Grammar sketch:
+    {[
+      prog  := decl* stmts
+      decl  := "decl" name ":" ubit<N> ("[" size ("bank" b)? "]")* ";"
+      stmts := chunk ("---" chunk)*          (* ordered composition *)
+      chunk := stmt (";" stmt)*              (* unordered composition *)
+      stmt  := "let" x ":" ubit<N> "=" expr
+             | x ":=" expr | a"["e"]"... ":=" expr
+             | "if" "(" e ")" { … } ("else" { … })?
+             | "while" "(" e ")" { … }
+             | "for" "(" "let" i ":" ubit<N> "=" lo ".." hi ")" ("unroll" u)? { … }
+    ]} *)
+
+exception Parse_error of string
+
+val parse_string : string -> Ast.prog

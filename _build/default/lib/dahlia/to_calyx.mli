@@ -1,0 +1,24 @@
+(** The Calyx backend for lowered Dahlia (Section 6.2).
+
+    One-to-one mapping from lowered-Dahlia constructs to Calyx: each
+    assignment or store becomes a {e group} performing the update; ordered
+    composition becomes [seq], unordered becomes [par], loops and
+    conditionals map to [while] and [if] with condition groups.
+
+    Latency annotations: register updates and memory stores with
+    combinational right-hand sides get ["static"=1]; a multiply- or
+    divide-rooted statement gets the pipeline latency plus one; [sqrt] has
+    a data-dependent latency, so its groups carry no annotation and the
+    surrounding schedule mixes latency-sensitive and -insensitive
+    compilation exactly as the paper describes. *)
+
+exception Backend_error of string
+
+val compile : Ast.prog -> Calyx.Ir.context
+(** Lower first ({!Lowering.lower}); produces a well-formed program whose
+    entrypoint is ["main"]. Top-level memories become cells with the
+    ["external"] attribute, named after their (bank-expanded) declarations. *)
+
+val memory_names : Ast.prog -> string list
+(** The external memory cell names of a lowered program, declaration
+    order. *)

@@ -1,0 +1,194 @@
+open Ast
+
+exception Type_error of string
+
+let type_error fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
+
+let rec expr_width ~width_of_var ~width_of_mem = function
+  | EInt _ -> None
+  | EVar x -> width_of_var x
+  | ERead (m, _) -> width_of_mem m
+  | ESqrt e -> expr_width ~width_of_var ~width_of_mem e
+  | EBinop (op, a, b) -> (
+      match op with
+      | Lt | Gt | Le | Ge | Eq | Neq -> Some 1
+      | Shl | Shr -> expr_width ~width_of_var ~width_of_mem a
+      | Add | Sub | Mul | Div | Rem | BAnd | BOr | BXor -> (
+          match expr_width ~width_of_var ~width_of_mem a with
+          | Some w -> Some w
+          | None -> expr_width ~width_of_var ~width_of_mem b))
+
+type var_info = { vi_width : int; vi_mutable : bool }
+
+type env = {
+  vars : var_info Calyx.Ir.String_map.t;
+  mems : decl Calyx.Ir.String_map.t;
+}
+
+module SM = Calyx.Ir.String_map
+
+let width_of_var env x =
+  Option.map (fun vi -> vi.vi_width) (SM.find_opt x env.vars)
+
+let width_of_mem env m =
+  Option.map (fun d -> match d.elem with UBit w -> w) (SM.find_opt m env.mems)
+
+let infer env e =
+  expr_width
+    ~width_of_var:(width_of_var env)
+    ~width_of_mem:(width_of_mem env)
+    e
+
+(* Check an expression and unify it with an expected width (if any). *)
+let rec check_expr env expected e =
+  let unify inferred =
+    match (expected, inferred) with
+    | Some w, Some w' when w <> w' ->
+        type_error "expression %a has width %d where %d is expected"
+          (fun fmt -> pp_expr fmt) e w' w
+    | _ -> ()
+  in
+  (match e with
+  | EInt v ->
+      if v < 0 then type_error "negative literal %d (widths are unsigned)" v
+  | EVar x ->
+      if SM.find_opt x env.vars = None then
+        if SM.mem x env.mems then
+          type_error "%s is a memory; read it with an index" x
+        else type_error "undeclared variable %s" x
+  | ERead (m, idxs) -> (
+      match SM.find_opt m env.mems with
+      | None -> type_error "undeclared memory %s" m
+      | Some d ->
+          if List.length idxs <> List.length d.dims then
+            type_error "memory %s has %d dimension(s), indexed with %d"
+              m (List.length d.dims) (List.length idxs);
+          List.iter (fun i -> check_expr env None i) idxs)
+  | ESqrt inner -> check_expr env expected inner
+  | EBinop (op, a, b) -> (
+      match op with
+      | Lt | Gt | Le | Ge | Eq | Neq ->
+          (* Operands must agree with each other, result is one bit. *)
+          let wa = infer env a and wb = infer env b in
+          (match (wa, wb) with
+          | Some x, Some y when x <> y ->
+              type_error "comparison of widths %d and %d in %a" x y
+                (fun fmt -> pp_expr fmt) e
+          | None, None ->
+              type_error "cannot infer operand widths in %a"
+                (fun fmt -> pp_expr fmt) e
+          | _ -> ());
+          let w = match wa with Some w -> Some w | None -> wb in
+          check_expr env w a;
+          check_expr env w b
+      | Shl | Shr ->
+          check_expr env expected a;
+          check_expr env None b
+      | Add | Sub | Mul | Div | Rem | BAnd | BOr | BXor ->
+          let w =
+            match expected with Some _ -> expected | None -> infer env e
+          in
+          check_expr env w a;
+          check_expr env w b));
+  unify (infer env e)
+
+let check_bool env e =
+  check_expr env (Some 1) e;
+  match infer env e with
+  | Some 1 -> ()
+  | Some w -> type_error "condition %a has width %d, expected 1"
+                (fun fmt -> pp_expr fmt) e w
+  | None -> type_error "cannot type condition %a" (fun fmt -> pp_expr fmt) e
+
+let add_var env x w ~mutable_ =
+  if SM.mem x env.vars || SM.mem x env.mems then
+    type_error "duplicate declaration of %s" x;
+  { env with vars = SM.add x { vi_width = w; vi_mutable = mutable_ } env.vars }
+
+(* Returns the environment extended with lets for subsequent statements in
+   the same sequence. *)
+let rec check_stmt env = function
+  | SSkip -> env
+  | SLet (x, UBit w, e) ->
+      if w < 1 || w > Calyx.Bitvec.max_width then
+        type_error "let %s: invalid width %d" x w;
+      check_expr env (Some w) e;
+      add_var env x w ~mutable_:true
+  | SAssign (x, e) -> (
+      match SM.find_opt x env.vars with
+      | None -> type_error "assignment to undeclared variable %s" x
+      | Some vi ->
+          if not vi.vi_mutable then
+            type_error "loop index %s cannot be assigned" x;
+          check_expr env (Some vi.vi_width) e;
+          env)
+  | SStore (m, idxs, e) -> (
+      match SM.find_opt m env.mems with
+      | None -> type_error "store to undeclared memory %s" m
+      | Some d ->
+          if List.length idxs <> List.length d.dims then
+            type_error "memory %s has %d dimension(s), indexed with %d" m
+              (List.length d.dims) (List.length idxs);
+          List.iter (fun i -> check_expr env None i) idxs;
+          let (UBit w) = d.elem in
+          check_expr env (Some w) e;
+          env)
+  | SIf (c, t, f) ->
+      check_bool env c;
+      ignore (check_stmt env t);
+      ignore (check_stmt env f);
+      env
+  | SWhile (c, body) ->
+      check_bool env c;
+      ignore (check_stmt env body);
+      env
+  | SFor { var; var_typ = UBit w; lo; hi; unroll; body } ->
+      if lo > hi then type_error "for %s: empty range %d..%d" var lo hi;
+      if w < 1 || w > Calyx.Bitvec.max_width then
+        type_error "for %s: invalid width %d" var w;
+      let capacity = if w >= 62 then max_int else (1 lsl w) - 1 in
+      if hi > capacity then
+        type_error "for %s: ubit<%d> cannot hold the bound %d" var w hi;
+      let trip = hi - lo in
+      if unroll < 1 then type_error "for %s: unroll %d" var unroll;
+      if unroll <> 1 && unroll <> trip then
+        type_error
+          "for %s: unroll factor %d unsupported (this implementation lowers \
+           factor 1 or a full unroll of %d)"
+          var unroll trip;
+      let env' = add_var env var w ~mutable_:false in
+      ignore (check_stmt env' body);
+      env
+  | SSeq stmts -> List.fold_left check_stmt env stmts
+  | SPar stmts ->
+      (* Children see the same environment; their lets must not collide
+         (conflict checking proper happens after lowering). *)
+      List.fold_left check_stmt env stmts
+
+let check_decl d =
+  let (UBit w) = d.elem in
+  if w < 1 || w > Calyx.Bitvec.max_width then
+    type_error "decl %s: invalid element width %d" d.decl_name w;
+  if d.dims = [] then
+    type_error "decl %s: scalar declarations are not supported (use let)"
+      d.decl_name;
+  List.iter
+    (fun dim ->
+      if dim.size < 1 then
+        type_error "decl %s: dimension size %d" d.decl_name dim.size;
+      if dim.bank < 1 || dim.size mod dim.bank <> 0 then
+        type_error "decl %s: bank factor %d does not divide size %d"
+          d.decl_name dim.bank dim.size)
+    d.dims
+
+let check prog =
+  List.iter check_decl prog.decls;
+  let mems =
+    List.fold_left
+      (fun acc d ->
+        if SM.mem d.decl_name acc then
+          type_error "duplicate memory declaration %s" d.decl_name;
+        SM.add d.decl_name d acc)
+      SM.empty prog.decls
+  in
+  ignore (check_stmt { vars = SM.empty; mems } prog.body)

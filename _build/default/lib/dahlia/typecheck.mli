@@ -1,0 +1,18 @@
+(** Type checking for Dahlia programs.
+
+    Plays the role of Dahlia's substructural type system at the level this
+    reproduction needs: width consistency, declaration and scoping checks,
+    immutability of loop indices, memory dimensionality, banking
+    constraints, and the unroll restrictions the lowering supports (factor
+    1 or a full unroll). Parallel-composition conflict checks happen after
+    lowering, where banks are resolved (see {!Lowering}). *)
+
+exception Type_error of string
+
+val check : Ast.prog -> unit
+(** Raises {!Type_error} with a descriptive message on the first problem. *)
+
+val expr_width : width_of_var:(string -> int option) ->
+  width_of_mem:(string -> int option) -> Ast.expr -> int option
+(** Infer an expression's width; [None] when only literals constrain it.
+    Exposed for the lowering and backend. *)

@@ -1,0 +1,1 @@
+lib/polybench/data.ml: Array Calyx Calyx_sim Dahlia Format Hashtbl List String

@@ -1,0 +1,1 @@
+lib/polybench/data.mli: Calyx_sim Dahlia

@@ -1,0 +1,1 @@
+lib/polybench/harness.ml: Array Calyx Calyx_sim Calyx_synth Dahlia Data Kernels List

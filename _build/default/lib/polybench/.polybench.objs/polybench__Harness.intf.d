@@ -1,0 +1,1 @@
+lib/polybench/harness.mli: Calyx Calyx_synth Dahlia Kernels

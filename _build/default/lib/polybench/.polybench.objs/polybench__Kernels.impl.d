@@ -1,0 +1,1 @@
+lib/polybench/kernels.ml: Array Calyx_sim Char Int64 List Printf String

@@ -1,0 +1,95 @@
+(* Bank-aware loading and reading of a Dahlia program's logical memories.
+
+   Test benches talk about logical arrays (row-major); the lowered design
+   may have split a banked declaration into several physical memories. *)
+
+open Dahlia.Ast
+
+exception Data_error of string
+
+let data_error fmt = Format.kasprintf (fun s -> raise (Data_error s)) fmt
+
+let find_decl (prog : prog) name =
+  match List.find_opt (fun d -> String.equal d.decl_name name) prog.decls with
+  | Some d -> d
+  | None -> data_error "no memory %s" name
+
+let logical_size d = List.fold_left (fun acc dim -> acc * dim.size) 1 d.dims
+
+(* (bank indices, flat offset within the bank) of a logical coordinate. *)
+let place d coords =
+  let banks, offsets =
+    List.split
+      (List.map2
+         (fun dim c -> (c mod dim.bank, c / dim.bank))
+         d.dims coords)
+  in
+  let offset =
+    List.fold_left2
+      (fun acc dim off -> (acc * (dim.size / dim.bank)) + off)
+      0 d.dims offsets
+  in
+  (banks, offset)
+
+let coords_of_flat d flat =
+  let rec go dims flat acc =
+    match dims with
+    | [] -> List.rev acc
+    | _ :: rest ->
+        let inner = List.fold_left (fun a dim -> a * dim.size) 1 rest in
+        go rest (flat mod inner) ((flat / inner) :: acc)
+  in
+  go d.dims flat []
+
+let physical_name d banks =
+  if Dahlia.Lowering.is_banked d then Dahlia.Lowering.bank_name d.decl_name banks
+  else d.decl_name
+
+let load prog sim name values =
+  let d = find_decl prog name in
+  let size = logical_size d in
+  if List.length values <> size then
+    data_error "memory %s holds %d elements, given %d" name size
+      (List.length values);
+  let (UBit w) = d.elem in
+  (* Group values per physical bank. *)
+  let buckets : (string, (int * int) list ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iteri
+    (fun flat v ->
+      let banks, offset = place d (coords_of_flat d flat) in
+      let phys = physical_name d banks in
+      let bucket =
+        match Hashtbl.find_opt buckets phys with
+        | Some b -> b
+        | None ->
+            let b = ref [] in
+            Hashtbl.add buckets phys b;
+            b
+      in
+      bucket := (offset, v) :: !bucket)
+    values;
+  Hashtbl.iter
+    (fun phys bucket ->
+      let contents = Calyx_sim.Sim.read_memory sim phys in
+      List.iter
+        (fun (off, v) -> contents.(off) <- Calyx.Bitvec.of_int ~width:w v)
+        !bucket;
+      Calyx_sim.Sim.write_memory sim phys contents)
+    buckets
+
+let read prog sim name =
+  let d = find_decl prog name in
+  let size = logical_size d in
+  let cache : (string, Calyx.Bitvec.t array) Hashtbl.t = Hashtbl.create 8 in
+  List.init size (fun flat ->
+      let banks, offset = place d (coords_of_flat d flat) in
+      let phys = physical_name d banks in
+      let contents =
+        match Hashtbl.find_opt cache phys with
+        | Some c -> c
+        | None ->
+            let c = Calyx_sim.Sim.read_memory sim phys in
+            Hashtbl.add cache phys c;
+            c
+      in
+      Calyx.Bitvec.to_int contents.(offset))

@@ -1,0 +1,14 @@
+(** Bank-aware data movement between test benches and compiled kernels.
+
+    Test benches speak in {e logical} arrays (row-major); lowered designs
+    may have split banked declarations into several physical memories. This
+    module translates using the original (pre-lowering) declarations. *)
+
+exception Data_error of string
+
+val load : Dahlia.Ast.prog -> Calyx_sim.Sim.t -> string -> int list -> unit
+(** [load prog sim name values] scatters a logical array across its
+    physical banks. *)
+
+val read : Dahlia.Ast.prog -> Calyx_sim.Sim.t -> string -> int list
+(** Gather a logical array back from its banks. *)

@@ -1,0 +1,70 @@
+type result = {
+  cycles : int;
+  correct : bool;
+  mismatches : string list;
+  area : Calyx_synth.Area.usage;
+}
+
+let program (k : Kernels.kernel) ~unrolled =
+  let source =
+    if unrolled then
+      match k.Kernels.unrolled with
+      | Some src -> src
+      | None -> invalid_arg (k.Kernels.name ^ " has no unrolled variant")
+    else k.Kernels.source
+  in
+  Dahlia.Parser.parse_string source
+
+let build k ~unrolled = Dahlia.To_calyx.compile (program k ~unrolled)
+
+let verify (k : Kernels.kernel) prog sim =
+  let inputs =
+    List.map (fun (name, values) -> (name, Array.of_list values)) k.Kernels.inputs
+  in
+  let get name =
+    match List.assoc_opt name inputs with
+    | Some a -> Array.copy a
+    | None -> raise (Data.Data_error ("kernel has no input " ^ name))
+  in
+  let expected = k.Kernels.reference get in
+  let mismatches =
+    List.filter_map
+      (fun name ->
+        let got = Array.of_list (Data.read prog sim name) in
+        let want = List.assoc name expected in
+        if got = want then None else Some name)
+      k.Kernels.outputs
+  in
+  mismatches
+
+let execute (k : Kernels.kernel) prog ctx =
+  let sim = Calyx_sim.Sim.create ctx in
+  List.iter
+    (fun (name, values) -> Data.load prog sim name values)
+    k.Kernels.inputs;
+  let cycles = Calyx_sim.Sim.run sim in
+  let mismatches = verify k prog sim in
+  (cycles, mismatches)
+
+let run ?(config = Calyx.Pipelines.default_config) k ~unrolled =
+  let prog = program k ~unrolled in
+  let ctx = Dahlia.To_calyx.compile prog in
+  let lowered = Calyx.Pipelines.compile ~config ctx in
+  let cycles, mismatches = execute k prog lowered in
+  {
+    cycles;
+    correct = mismatches = [];
+    mismatches;
+    area = Calyx_synth.Area.context_usage lowered;
+  }
+
+let run_interp k ~unrolled =
+  let prog = program k ~unrolled in
+  let ctx = Dahlia.To_calyx.compile prog in
+  let cycles, mismatches = execute k prog ctx in
+  {
+    cycles;
+    correct = mismatches = [];
+    mismatches;
+    area = Calyx_synth.Area.context_usage ctx;
+  }

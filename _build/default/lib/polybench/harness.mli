@@ -1,0 +1,29 @@
+(** Uniform execution harness for the PolyBench kernels.
+
+    Used by both the test suite and the evaluation benches: builds a
+    kernel's Calyx program, compiles it under a pass configuration,
+    simulates it with its deterministic inputs, checks every output memory
+    against the golden reference, and reports cycle count and the area
+    model's usage. *)
+
+type result = {
+  cycles : int;
+  correct : bool;
+  mismatches : string list;  (** Names of output memories that differ. *)
+  area : Calyx_synth.Area.usage;  (** Of the fully lowered design. *)
+}
+
+val program : Kernels.kernel -> unrolled:bool -> Dahlia.Ast.prog
+(** Parse the (possibly unrolled) source. Raises [Invalid_argument] when
+    [unrolled] is requested but the kernel has no unrolled variant. *)
+
+val build : Kernels.kernel -> unrolled:bool -> Calyx.Ir.context
+(** The structured Calyx program (before the compilation pipeline). *)
+
+val run :
+  ?config:Calyx.Pipelines.config -> Kernels.kernel -> unrolled:bool -> result
+(** Compile (default: all optimizations), simulate, verify. *)
+
+val run_interp : Kernels.kernel -> unrolled:bool -> result
+(** Execute with the reference interpreter instead of compiling (area is
+    measured on the structured program). *)

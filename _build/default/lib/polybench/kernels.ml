@@ -1,0 +1,1662 @@
+type kernel = {
+  name : string;
+  description : string;
+  source : string;
+  unrolled : string option;
+  inputs : (string * int list) list;
+  outputs : string list;
+  reference : (string -> int array) -> (string * int array) list;
+}
+
+let n = 8
+
+(* ------------------------------------------------------------------ *)
+(* 32-bit wrapping reference arithmetic (mirrors the hardware exactly) *)
+(* ------------------------------------------------------------------ *)
+
+let mask = 0xFFFFFFFF
+let w v = v land mask
+let ( +% ) a b = w (a + b)
+let ( -% ) a b = w (a - b)
+
+let ( *% ) a b =
+  Int64.to_int (Int64.logand (Int64.mul (Int64.of_int a) (Int64.of_int b)) 0xFFFFFFFFL)
+
+let ( /% ) a b = if b = 0 then mask else a / b
+let isq v = Int64.to_int (Calyx_sim.Prim_state.isqrt (Int64.of_int v))
+
+(* Deterministic input data: small positive values. *)
+let data name count =
+  List.init count (fun i -> (((i * 13) + (Char.code name.[0] * 7)) mod 19) + 1)
+
+let mat name = (name, data name (n * n))
+let vec name = (name, data name n)
+let ix i j = (i * n) + j
+
+(* An 8-leaf balanced addition tree over a banked scratch vector. *)
+let tree8 m =
+  Printf.sprintf
+    "(((%s[0] + %s[1]) + (%s[2] + %s[3])) + ((%s[4] + %s[5]) + (%s[6] + %s[7])))"
+    m m m m m m m m
+
+(* ------------------------------------------------------------------ *)
+(* 1. gemm: C = beta*C + alpha*A*B (alpha = 3, beta = 2)               *)
+(* ------------------------------------------------------------------ *)
+
+let gemm =
+  {
+    name = "gemm";
+    description = "C = beta*C + alpha*A*B";
+    source =
+      {|
+decl A: ubit<32>[8][8];
+decl B: ubit<32>[8][8];
+decl C: ubit<32>[8][8];
+for (let i: ubit<4> = 0..8) {
+  for (let j: ubit<4> = 0..8) {
+    C[i][j] := C[i][j] * 2
+    ---
+    for (let k: ubit<4> = 0..8) {
+      let t: ubit<32> = 3 * A[i][k]
+      ---
+      let u: ubit<32> = t * B[k][j]
+      ---
+      C[i][j] := C[i][j] + u
+    }
+  }
+}
+|};
+    unrolled =
+      Some
+        {|
+decl A: ubit<32>[8][8];
+decl B: ubit<32>[8][8 bank 8];
+decl C: ubit<32>[8][8 bank 8];
+for (let i: ubit<4> = 0..8) {
+  for (let j: ubit<4> = 0..8) unroll 8 {
+    C[i][j] := C[i][j] * 2
+  }
+  ---
+  for (let k: ubit<4> = 0..8) {
+    let t: ubit<32> = 3 * A[i][k]
+    ---
+    for (let j: ubit<4> = 0..8) unroll 8 {
+      let u: ubit<32> = t * B[k][j]
+      ---
+      C[i][j] := C[i][j] + u
+    }
+  }
+}
+|};
+    inputs = [ mat "A"; mat "B"; mat "C" ];
+    outputs = [ "C" ];
+    reference =
+      (fun get ->
+        let a = get "A" and b = get "B" in
+        let c = Array.copy (get "C") in
+        for i = 0 to n - 1 do
+          for j = 0 to n - 1 do
+            c.(ix i j) <- c.(ix i j) *% 2;
+            for k = 0 to n - 1 do
+              let t = 3 *% a.(ix i k) in
+              let u = t *% b.(ix k j) in
+              c.(ix i j) <- c.(ix i j) +% u
+            done
+          done
+        done;
+        [ ("C", c) ]);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* 2. gemver: A += u1 v1^T + u2 v2^T; x += beta*A^T*y; x += z;
+      w += alpha*A*x                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let gemver =
+  {
+    name = "gemver";
+    description = "vector multiplication and matrix addition";
+    source =
+      {|
+decl A: ubit<32>[8][8];
+decl u1: ubit<32>[8];
+decl v1: ubit<32>[8];
+decl u2: ubit<32>[8];
+decl v2: ubit<32>[8];
+decl x: ubit<32>[8];
+decl y: ubit<32>[8];
+decl w: ubit<32>[8];
+decl z: ubit<32>[8];
+for (let i: ubit<4> = 0..8) {
+  for (let j: ubit<4> = 0..8) {
+    let p1: ubit<32> = u1[i] * v1[j]
+    ---
+    let p2: ubit<32> = u2[i] * v2[j]
+    ---
+    A[i][j] := A[i][j] + p1 + p2
+  }
+}
+---
+for (let i: ubit<4> = 0..8) {
+  for (let j: ubit<4> = 0..8) {
+    let t: ubit<32> = 2 * A[j][i]
+    ---
+    let s: ubit<32> = t * y[j]
+    ---
+    x[i] := x[i] + s
+  }
+}
+---
+for (let i: ubit<4> = 0..8) {
+  x[i] := x[i] + z[i]
+}
+---
+for (let i: ubit<4> = 0..8) {
+  for (let j: ubit<4> = 0..8) {
+    let t2: ubit<32> = 3 * A[i][j]
+    ---
+    let s2: ubit<32> = t2 * x[j]
+    ---
+    w[i] := w[i] + s2
+  }
+}
+|};
+    unrolled = None;
+    inputs =
+      [ mat "A"; vec "u1"; vec "v1"; vec "u2"; vec "v2"; vec "x"; vec "y";
+        vec "w"; vec "z" ];
+    outputs = [ "A"; "x"; "w" ];
+    reference =
+      (fun get ->
+        let a = Array.copy (get "A") in
+        let u1 = get "u1" and v1 = get "v1" and u2 = get "u2" and v2 = get "v2" in
+        let x = Array.copy (get "x") in
+        let y = get "y" and z = get "z" in
+        let wv = Array.copy (get "w") in
+        for i = 0 to n - 1 do
+          for j = 0 to n - 1 do
+            a.(ix i j) <- a.(ix i j) +% (u1.(i) *% v1.(j)) +% (u2.(i) *% v2.(j))
+          done
+        done;
+        for i = 0 to n - 1 do
+          for j = 0 to n - 1 do
+            x.(i) <- x.(i) +% (2 *% a.(ix j i) *% y.(j))
+          done
+        done;
+        for i = 0 to n - 1 do
+          x.(i) <- x.(i) +% z.(i)
+        done;
+        for i = 0 to n - 1 do
+          for j = 0 to n - 1 do
+            wv.(i) <- wv.(i) +% (3 *% a.(ix i j) *% x.(j))
+          done
+        done;
+        [ ("A", a); ("x", x); ("w", wv) ]);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* 3. gesummv: y = alpha*A*x + beta*B*x                                *)
+(* ------------------------------------------------------------------ *)
+
+let gesummv =
+  {
+    name = "gesummv";
+    description = "summed matrix-vector multiplications";
+    source =
+      {|
+decl A: ubit<32>[8][8];
+decl B: ubit<32>[8][8];
+decl x: ubit<32>[8];
+decl y: ubit<32>[8];
+for (let i: ubit<4> = 0..8) {
+  let s1: ubit<32> = 0;
+  let s2: ubit<32> = 0
+  ---
+  for (let j: ubit<4> = 0..8) {
+    let p: ubit<32> = A[i][j] * x[j]
+    ---
+    s1 := s1 + p
+  }
+  ---
+  for (let j: ubit<4> = 0..8) {
+    let q: ubit<32> = B[i][j] * x[j]
+    ---
+    s2 := s2 + q
+  }
+  ---
+  let t1: ubit<32> = 3 * s1
+  ---
+  let t2: ubit<32> = 2 * s2
+  ---
+  y[i] := t1 + t2
+}
+|};
+    unrolled =
+      Some
+        (Printf.sprintf
+           {|
+decl A: ubit<32>[8][8 bank 8];
+decl B: ubit<32>[8][8 bank 8];
+decl x: ubit<32>[8 bank 8];
+decl y: ubit<32>[8];
+decl pa: ubit<32>[8 bank 8];
+decl pb: ubit<32>[8 bank 8];
+for (let i: ubit<4> = 0..8) {
+  for (let j: ubit<4> = 0..8) unroll 8 {
+    pa[j] := A[i][j] * x[j]
+  }
+  ---
+  for (let j: ubit<4> = 0..8) unroll 8 {
+    pb[j] := B[i][j] * x[j]
+  }
+  ---
+  let s1: ubit<32> = %s
+  ---
+  let s2: ubit<32> = %s
+  ---
+  let t1: ubit<32> = 3 * s1
+  ---
+  let t2: ubit<32> = 2 * s2
+  ---
+  y[i] := t1 + t2
+}
+|}
+           (tree8 "pa") (tree8 "pb"));
+    inputs = [ mat "A"; mat "B"; vec "x"; vec "y" ];
+    outputs = [ "y" ];
+    reference =
+      (fun get ->
+        let a = get "A" and b = get "B" and x = get "x" in
+        let y = Array.copy (get "y") in
+        for i = 0 to n - 1 do
+          let s1 = ref 0 and s2 = ref 0 in
+          for j = 0 to n - 1 do
+            s1 := !s1 +% (a.(ix i j) *% x.(j));
+            s2 := !s2 +% (b.(ix i j) *% x.(j))
+          done;
+          y.(i) <- (3 *% !s1) +% (2 *% !s2)
+        done;
+        [ ("y", y) ]);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* 4. symm: symmetric matrix multiply                                  *)
+(* ------------------------------------------------------------------ *)
+
+let symm =
+  {
+    name = "symm";
+    description = "symmetric matrix-matrix multiplication";
+    source =
+      {|
+decl A: ubit<32>[8][8];
+decl B: ubit<32>[8][8];
+decl C: ubit<32>[8][8];
+for (let i: ubit<4> = 0..8) {
+  for (let j: ubit<4> = 0..8) {
+    let tmp: ubit<32> = 0;
+    let k: ubit<4> = 0
+    ---
+    while (k < i) {
+      let t1: ubit<32> = 3 * B[i][j]
+      ---
+      let t2: ubit<32> = t1 * A[i][k]
+      ---
+      C[k][j] := C[k][j] + t2
+      ---
+      let t3: ubit<32> = B[k][j] * A[i][k]
+      ---
+      tmp := tmp + t3
+      ---
+      k := k + 1
+    }
+    ---
+    let t4: ubit<32> = 2 * C[i][j]
+    ---
+    let t5: ubit<32> = 3 * B[i][j]
+    ---
+    let t6: ubit<32> = t5 * A[i][i]
+    ---
+    let t7: ubit<32> = 3 * tmp
+    ---
+    C[i][j] := t4 + t6 + t7
+  }
+}
+|};
+    unrolled =
+      Some
+        {|
+decl A: ubit<32>[8][8];
+decl B: ubit<32>[8][8 bank 8];
+decl C: ubit<32>[8][8 bank 8];
+decl tmpv: ubit<32>[8 bank 8];
+for (let i: ubit<4> = 0..8) {
+  for (let j: ubit<4> = 0..8) unroll 8 {
+    tmpv[j] := 0
+  }
+  ---
+  let k: ubit<4> = 0
+  ---
+  while (k < i) {
+    let aik: ubit<32> = A[i][k]
+    ---
+    for (let j: ubit<4> = 0..8) unroll 8 {
+      let t1: ubit<32> = 3 * B[i][j]
+      ---
+      let t2: ubit<32> = t1 * aik
+      ---
+      C[k][j] := C[k][j] + t2
+      ---
+      let t3: ubit<32> = B[k][j] * aik
+      ---
+      tmpv[j] := tmpv[j] + t3
+    }
+    ---
+    k := k + 1
+  }
+  ---
+  let aii: ubit<32> = A[i][i]
+  ---
+  for (let j: ubit<4> = 0..8) unroll 8 {
+    let t4: ubit<32> = 2 * C[i][j]
+    ---
+    let t5: ubit<32> = 3 * B[i][j]
+    ---
+    let t6: ubit<32> = t5 * aii
+    ---
+    let t7: ubit<32> = 3 * tmpv[j]
+    ---
+    C[i][j] := t4 + t6 + t7
+  }
+}
+|};
+    inputs = [ mat "A"; mat "B"; mat "C" ];
+    outputs = [ "C" ];
+    reference =
+      (fun get ->
+        let a = get "A" and b = get "B" in
+        let c = Array.copy (get "C") in
+        for i = 0 to n - 1 do
+          for j = 0 to n - 1 do
+            let tmp = ref 0 in
+            for k = 0 to i - 1 do
+              c.(ix k j) <- c.(ix k j) +% (3 *% b.(ix i j) *% a.(ix i k));
+              tmp := !tmp +% (b.(ix k j) *% a.(ix i k))
+            done;
+            c.(ix i j) <-
+              (2 *% c.(ix i j)) +% (3 *% b.(ix i j) *% a.(ix i i)) +% (3 *% !tmp)
+          done
+        done;
+        [ ("C", c) ]);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* 5. syrk: C (lower triangle) = beta*C + alpha*A*A^T                  *)
+(* ------------------------------------------------------------------ *)
+
+let syrk =
+  {
+    name = "syrk";
+    description = "symmetric rank-k update";
+    source =
+      {|
+decl A: ubit<32>[8][8];
+decl C: ubit<32>[8][8];
+for (let i: ubit<4> = 0..8) {
+  let j: ubit<4> = 0
+  ---
+  while (j <= i) {
+    C[i][j] := C[i][j] * 2
+    ---
+    for (let k: ubit<4> = 0..8) {
+      let t1: ubit<32> = 3 * A[i][k]
+      ---
+      let t2: ubit<32> = t1 * A[j][k]
+      ---
+      C[i][j] := C[i][j] + t2
+    }
+    ---
+    j := j + 1
+  }
+}
+|};
+    unrolled =
+      Some
+        (Printf.sprintf
+           {|
+decl A: ubit<32>[8][8 bank 8];
+decl C: ubit<32>[8][8];
+decl ps: ubit<32>[8 bank 8];
+for (let i: ubit<4> = 0..8) {
+  let j: ubit<4> = 0
+  ---
+  while (j <= i) {
+    for (let k: ubit<4> = 0..8) unroll 8 {
+      let u: ubit<32> = A[i][k] * A[j][k]
+      ---
+      ps[k] := 3 * u
+    }
+    ---
+    let s: ubit<32> = %s
+    ---
+    let t: ubit<32> = 2 * C[i][j]
+    ---
+    C[i][j] := t + s
+    ---
+    j := j + 1
+  }
+}
+|}
+           (tree8 "ps"));
+    inputs = [ mat "A"; mat "C" ];
+    outputs = [ "C" ];
+    reference =
+      (fun get ->
+        let a = get "A" in
+        let c = Array.copy (get "C") in
+        for i = 0 to n - 1 do
+          for j = 0 to i do
+            let s = ref (2 *% c.(ix i j)) in
+            for k = 0 to n - 1 do
+              s := !s +% (3 *% (a.(ix i k) *% a.(ix j k)))
+            done;
+            c.(ix i j) <- !s
+          done
+        done;
+        [ ("C", c) ]);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* 6. syr2k: C (lower) = beta*C + alpha*(A*B^T + B*A^T)                *)
+(* ------------------------------------------------------------------ *)
+
+let syr2k =
+  {
+    name = "syr2k";
+    description = "symmetric rank-2k update";
+    source =
+      {|
+decl A: ubit<32>[8][8];
+decl B: ubit<32>[8][8];
+decl C: ubit<32>[8][8];
+for (let i: ubit<4> = 0..8) {
+  let j: ubit<4> = 0
+  ---
+  while (j <= i) {
+    C[i][j] := C[i][j] * 2
+    ---
+    for (let k: ubit<4> = 0..8) {
+      let t1: ubit<32> = A[i][k] * B[j][k]
+      ---
+      let t2: ubit<32> = B[i][k] * A[j][k]
+      ---
+      let t3: ubit<32> = 3 * (t1 + t2)
+      ---
+      C[i][j] := C[i][j] + t3
+    }
+    ---
+    j := j + 1
+  }
+}
+|};
+    unrolled =
+      Some
+        (Printf.sprintf
+           {|
+decl A: ubit<32>[8][8 bank 8];
+decl B: ubit<32>[8][8 bank 8];
+decl C: ubit<32>[8][8];
+decl ps: ubit<32>[8 bank 8];
+for (let i: ubit<4> = 0..8) {
+  let j: ubit<4> = 0
+  ---
+  while (j <= i) {
+    for (let k: ubit<4> = 0..8) unroll 8 {
+      let t1: ubit<32> = A[i][k] * B[j][k]
+      ---
+      let t2: ubit<32> = B[i][k] * A[j][k]
+      ---
+      ps[k] := 3 * (t1 + t2)
+    }
+    ---
+    let s: ubit<32> = %s
+    ---
+    let t: ubit<32> = 2 * C[i][j]
+    ---
+    C[i][j] := t + s
+    ---
+    j := j + 1
+  }
+}
+|}
+           (tree8 "ps"));
+    inputs = [ mat "A"; mat "B"; mat "C" ];
+    outputs = [ "C" ];
+    reference =
+      (fun get ->
+        let a = get "A" and b = get "B" in
+        let c = Array.copy (get "C") in
+        for i = 0 to n - 1 do
+          for j = 0 to i do
+            let s = ref (2 *% c.(ix i j)) in
+            for k = 0 to n - 1 do
+              let t1 = a.(ix i k) *% b.(ix j k) in
+              let t2 = b.(ix i k) *% a.(ix j k) in
+              s := !s +% (3 *% (t1 +% t2))
+            done;
+            c.(ix i j) <- !s
+          done
+        done;
+        [ ("C", c) ]);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* 7. trmm: B = alpha * A^T * B (A unit lower triangular)              *)
+(* ------------------------------------------------------------------ *)
+
+let trmm =
+  {
+    name = "trmm";
+    description = "triangular matrix multiply";
+    source =
+      {|
+decl A: ubit<32>[8][8];
+decl B: ubit<32>[8][8];
+for (let i: ubit<4> = 0..8) {
+  for (let j: ubit<4> = 0..8) {
+    let k: ubit<4> = i + 1
+    ---
+    while (k < 8) {
+      let t: ubit<32> = A[k][i] * B[k][j]
+      ---
+      B[i][j] := B[i][j] + t
+      ---
+      k := k + 1
+    }
+    ---
+    B[i][j] := B[i][j] * 3
+  }
+}
+|};
+    unrolled = None;
+    inputs = [ mat "A"; mat "B" ];
+    outputs = [ "B" ];
+    reference =
+      (fun get ->
+        let a = get "A" in
+        let b = Array.copy (get "B") in
+        for i = 0 to n - 1 do
+          for j = 0 to n - 1 do
+            for k = i + 1 to n - 1 do
+              b.(ix i j) <- b.(ix i j) +% (a.(ix k i) *% b.(ix k j))
+            done;
+            b.(ix i j) <- b.(ix i j) *% 3
+          done
+        done;
+        [ ("B", b) ]);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* 8. 2mm: D = alpha*A*B*C + beta*D                                    *)
+(* ------------------------------------------------------------------ *)
+
+let drain8 dst src row =
+  String.concat "\n  ---\n  "
+    (List.init 8 (fun j -> Printf.sprintf "%s[%s][%d] := %s[%d]" dst row j src j))
+
+let two_mm =
+  {
+    name = "2mm";
+    description = "two matrix multiplications";
+    source =
+      {|
+decl A: ubit<32>[8][8];
+decl B: ubit<32>[8][8];
+decl C: ubit<32>[8][8];
+decl D: ubit<32>[8][8];
+decl tmp: ubit<32>[8][8];
+for (let i: ubit<4> = 0..8) {
+  for (let j: ubit<4> = 0..8) {
+    tmp[i][j] := 0
+    ---
+    for (let k: ubit<4> = 0..8) {
+      let t1: ubit<32> = 3 * A[i][k]
+      ---
+      let t2: ubit<32> = t1 * B[k][j]
+      ---
+      tmp[i][j] := tmp[i][j] + t2
+    }
+  }
+}
+---
+for (let i: ubit<4> = 0..8) {
+  for (let j: ubit<4> = 0..8) {
+    D[i][j] := D[i][j] * 2
+    ---
+    for (let k: ubit<4> = 0..8) {
+      let t3: ubit<32> = tmp[i][k] * C[k][j]
+      ---
+      D[i][j] := D[i][j] + t3
+    }
+  }
+}
+|};
+    unrolled =
+      Some
+        (Printf.sprintf
+           {|
+decl A: ubit<32>[8][8];
+decl B: ubit<32>[8][8 bank 8];
+decl C: ubit<32>[8][8 bank 8];
+decl D: ubit<32>[8][8 bank 8];
+decl tmp: ubit<32>[8][8];
+decl p: ubit<32>[8 bank 8];
+for (let i: ubit<4> = 0..8) {
+  for (let j: ubit<4> = 0..8) unroll 8 {
+    p[j] := 0
+  }
+  ---
+  for (let k: ubit<4> = 0..8) {
+    let t1: ubit<32> = 3 * A[i][k]
+    ---
+    for (let j: ubit<4> = 0..8) unroll 8 {
+      let t2: ubit<32> = t1 * B[k][j]
+      ---
+      p[j] := p[j] + t2
+    }
+  }
+  ---
+  %s
+}
+---
+for (let i: ubit<4> = 0..8) {
+  for (let j: ubit<4> = 0..8) unroll 8 {
+    D[i][j] := D[i][j] * 2
+  }
+  ---
+  for (let k: ubit<4> = 0..8) {
+    let t3: ubit<32> = tmp[i][k]
+    ---
+    for (let j: ubit<4> = 0..8) unroll 8 {
+      let t4: ubit<32> = t3 * C[k][j]
+      ---
+      D[i][j] := D[i][j] + t4
+    }
+  }
+}
+|}
+           (drain8 "tmp" "p" "i"));
+    inputs = [ mat "A"; mat "B"; mat "C"; mat "D" ];
+    outputs = [ "D" ];
+    reference =
+      (fun get ->
+        let a = get "A" and b = get "B" and c = get "C" in
+        let d = Array.copy (get "D") in
+        let tmp = Array.make (n * n) 0 in
+        for i = 0 to n - 1 do
+          for j = 0 to n - 1 do
+            for k = 0 to n - 1 do
+              tmp.(ix i j) <- tmp.(ix i j) +% (3 *% a.(ix i k) *% b.(ix k j))
+            done
+          done
+        done;
+        for i = 0 to n - 1 do
+          for j = 0 to n - 1 do
+            d.(ix i j) <- d.(ix i j) *% 2;
+            for k = 0 to n - 1 do
+              d.(ix i j) <- d.(ix i j) +% (tmp.(ix i k) *% c.(ix k j))
+            done
+          done
+        done;
+        [ ("D", d) ]);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* 9. 3mm: G = (A*B) * (C*D)                                           *)
+(* ------------------------------------------------------------------ *)
+
+let three_mm =
+  {
+    name = "3mm";
+    description = "three matrix multiplications";
+    source =
+      {|
+decl A: ubit<32>[8][8];
+decl B: ubit<32>[8][8];
+decl C: ubit<32>[8][8];
+decl D: ubit<32>[8][8];
+decl E: ubit<32>[8][8];
+decl F: ubit<32>[8][8];
+decl G: ubit<32>[8][8];
+for (let i: ubit<4> = 0..8) {
+  for (let j: ubit<4> = 0..8) {
+    E[i][j] := 0
+    ---
+    for (let k: ubit<4> = 0..8) {
+      let t1: ubit<32> = A[i][k] * B[k][j]
+      ---
+      E[i][j] := E[i][j] + t1
+    }
+  }
+}
+---
+for (let i: ubit<4> = 0..8) {
+  for (let j: ubit<4> = 0..8) {
+    F[i][j] := 0
+    ---
+    for (let k: ubit<4> = 0..8) {
+      let t2: ubit<32> = C[i][k] * D[k][j]
+      ---
+      F[i][j] := F[i][j] + t2
+    }
+  }
+}
+---
+for (let i: ubit<4> = 0..8) {
+  for (let j: ubit<4> = 0..8) {
+    G[i][j] := 0
+    ---
+    for (let k: ubit<4> = 0..8) {
+      let t3: ubit<32> = E[i][k] * F[k][j]
+      ---
+      G[i][j] := G[i][j] + t3
+    }
+  }
+}
+|};
+    unrolled =
+      Some
+        (Printf.sprintf
+           {|
+decl A: ubit<32>[8][8];
+decl B: ubit<32>[8][8 bank 8];
+decl C: ubit<32>[8][8];
+decl D: ubit<32>[8][8 bank 8];
+decl E: ubit<32>[8][8];
+decl F: ubit<32>[8][8 bank 8];
+decl G: ubit<32>[8][8 bank 8];
+decl p: ubit<32>[8 bank 8];
+for (let i: ubit<4> = 0..8) {
+  for (let j: ubit<4> = 0..8) unroll 8 {
+    p[j] := 0
+  }
+  ---
+  for (let k: ubit<4> = 0..8) {
+    let t1: ubit<32> = A[i][k]
+    ---
+    for (let j: ubit<4> = 0..8) unroll 8 {
+      let u1: ubit<32> = t1 * B[k][j]
+      ---
+      p[j] := p[j] + u1
+    }
+  }
+  ---
+  %s
+}
+---
+for (let i: ubit<4> = 0..8) {
+  for (let j: ubit<4> = 0..8) unroll 8 {
+    p[j] := 0
+  }
+  ---
+  for (let k: ubit<4> = 0..8) {
+    let t2: ubit<32> = C[i][k]
+    ---
+    for (let j: ubit<4> = 0..8) unroll 8 {
+      let u2: ubit<32> = t2 * D[k][j]
+      ---
+      p[j] := p[j] + u2
+    }
+  }
+  ---
+  %s
+}
+---
+for (let i: ubit<4> = 0..8) {
+  for (let j: ubit<4> = 0..8) unroll 8 {
+    G[i][j] := 0
+  }
+  ---
+  for (let k: ubit<4> = 0..8) {
+    let t3: ubit<32> = E[i][k]
+    ---
+    for (let j: ubit<4> = 0..8) unroll 8 {
+      let u3: ubit<32> = t3 * F[k][j]
+      ---
+      G[i][j] := G[i][j] + u3
+    }
+  }
+}
+|}
+           (drain8 "E" "p" "i") (drain8 "F" "p" "i"));
+    inputs = [ mat "A"; mat "B"; mat "C"; mat "D" ];
+    outputs = [ "G" ];
+    reference =
+      (fun get ->
+        let a = get "A" and b = get "B" and c = get "C" and d = get "D" in
+        let matmul x y =
+          let r = Array.make (n * n) 0 in
+          for i = 0 to n - 1 do
+            for j = 0 to n - 1 do
+              for k = 0 to n - 1 do
+                r.(ix i j) <- r.(ix i j) +% (x.(ix i k) *% y.(ix k j))
+              done
+            done
+          done;
+          r
+        in
+        let e = matmul a b in
+        let f = matmul c d in
+        [ ("G", matmul e f) ]);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* 10. atax: y = A^T (A x)                                             *)
+(* ------------------------------------------------------------------ *)
+
+let atax =
+  {
+    name = "atax";
+    description = "matrix-transpose-vector product";
+    source =
+      {|
+decl A: ubit<32>[8][8];
+decl x: ubit<32>[8];
+decl y: ubit<32>[8];
+decl tmp: ubit<32>[8];
+for (let i: ubit<4> = 0..8) {
+  tmp[i] := 0
+  ---
+  for (let j: ubit<4> = 0..8) {
+    let t: ubit<32> = A[i][j] * x[j]
+    ---
+    tmp[i] := tmp[i] + t
+  }
+}
+---
+for (let i: ubit<4> = 0..8) {
+  y[i] := 0
+}
+---
+for (let i: ubit<4> = 0..8) {
+  for (let j: ubit<4> = 0..8) {
+    let u: ubit<32> = A[i][j] * tmp[i]
+    ---
+    y[j] := y[j] + u
+  }
+}
+|};
+    unrolled =
+      Some
+        (Printf.sprintf
+           {|
+decl A: ubit<32>[8 bank 8][8];
+decl x: ubit<32>[8];
+decl y: ubit<32>[8];
+decl tmp: ubit<32>[8 bank 8];
+decl ps: ubit<32>[8 bank 8];
+for (let i: ubit<4> = 0..8) unroll 8 {
+  tmp[i] := 0
+}
+---
+for (let j: ubit<4> = 0..8) {
+  let xv: ubit<32> = x[j]
+  ---
+  for (let i: ubit<4> = 0..8) unroll 8 {
+    let t: ubit<32> = A[i][j] * xv
+    ---
+    tmp[i] := tmp[i] + t
+  }
+}
+---
+for (let j: ubit<4> = 0..8) {
+  for (let i: ubit<4> = 0..8) unroll 8 {
+    ps[i] := A[i][j] * tmp[i]
+  }
+  ---
+  y[j] := %s
+}
+|}
+           (tree8 "ps"));
+    inputs = [ mat "A"; vec "x"; vec "y" ];
+    outputs = [ "y" ];
+    reference =
+      (fun get ->
+        let a = get "A" and x = get "x" in
+        let tmp = Array.make n 0 in
+        let y = Array.make n 0 in
+        for i = 0 to n - 1 do
+          for j = 0 to n - 1 do
+            tmp.(i) <- tmp.(i) +% (a.(ix i j) *% x.(j))
+          done
+        done;
+        for i = 0 to n - 1 do
+          for j = 0 to n - 1 do
+            y.(j) <- y.(j) +% (a.(ix i j) *% tmp.(i))
+          done
+        done;
+        [ ("y", y) ]);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* 11. bicg: s = A^T r; q = A p                                        *)
+(* ------------------------------------------------------------------ *)
+
+let bicg =
+  {
+    name = "bicg";
+    description = "BiCG sub-kernel";
+    source =
+      {|
+decl A: ubit<32>[8][8];
+decl r: ubit<32>[8];
+decl p: ubit<32>[8];
+decl s: ubit<32>[8];
+decl q: ubit<32>[8];
+for (let j: ubit<4> = 0..8) {
+  s[j] := 0
+}
+---
+for (let i: ubit<4> = 0..8) {
+  q[i] := 0
+  ---
+  for (let j: ubit<4> = 0..8) {
+    let t: ubit<32> = r[i] * A[i][j]
+    ---
+    s[j] := s[j] + t
+    ---
+    let u: ubit<32> = A[i][j] * p[j]
+    ---
+    q[i] := q[i] + u
+  }
+}
+|};
+    unrolled =
+      Some
+        (Printf.sprintf
+           {|
+decl A: ubit<32>[8 bank 8][8];
+decl r: ubit<32>[8 bank 8];
+decl p: ubit<32>[8];
+decl s: ubit<32>[8];
+decl q: ubit<32>[8 bank 8];
+decl ps: ubit<32>[8 bank 8];
+for (let i: ubit<4> = 0..8) unroll 8 {
+  q[i] := 0
+}
+---
+for (let j: ubit<4> = 0..8) {
+  for (let i: ubit<4> = 0..8) unroll 8 {
+    ps[i] := r[i] * A[i][j]
+  }
+  ---
+  s[j] := %s
+  ---
+  let pv: ubit<32> = p[j]
+  ---
+  for (let i: ubit<4> = 0..8) unroll 8 {
+    let u: ubit<32> = A[i][j] * pv
+    ---
+    q[i] := q[i] + u
+  }
+}
+|}
+           (tree8 "ps"));
+    inputs = [ mat "A"; vec "r"; vec "p" ];
+    outputs = [ "s"; "q" ];
+    reference =
+      (fun get ->
+        let a = get "A" and r = get "r" and p = get "p" in
+        let s = Array.make n 0 and q = Array.make n 0 in
+        for i = 0 to n - 1 do
+          for j = 0 to n - 1 do
+            s.(j) <- s.(j) +% (r.(i) *% a.(ix i j));
+            q.(i) <- q.(i) +% (a.(ix i j) *% p.(j))
+          done
+        done;
+        [ ("s", s); ("q", q) ]);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* 12. doitgen: multi-resolution analysis kernel (4x4x4)               *)
+(* ------------------------------------------------------------------ *)
+
+let doitgen =
+  {
+    name = "doitgen";
+    description = "multiresolution analysis kernel";
+    source =
+      {|
+decl A2: ubit<32>[16][4];
+decl C4: ubit<32>[4][4];
+decl sum: ubit<32>[4];
+for (let rq: ubit<5> = 0..16) {
+  for (let p: ubit<3> = 0..4) {
+    sum[p] := 0
+    ---
+    for (let s: ubit<3> = 0..4) {
+      let t: ubit<32> = A2[rq][s] * C4[s][p]
+      ---
+      sum[p] := sum[p] + t
+    }
+  }
+  ---
+  for (let p: ubit<3> = 0..4) {
+    A2[rq][p] := sum[p]
+  }
+}
+|};
+    unrolled =
+      Some
+        {|
+decl A2: ubit<32>[16][4];
+decl C4: ubit<32>[4][4 bank 4];
+decl sum: ubit<32>[4 bank 4];
+for (let rq: ubit<5> = 0..16) {
+  for (let p: ubit<3> = 0..4) unroll 4 {
+    sum[p] := 0
+  }
+  ---
+  for (let s: ubit<3> = 0..4) {
+    let av: ubit<32> = A2[rq][s]
+    ---
+    for (let p: ubit<3> = 0..4) unroll 4 {
+      let t: ubit<32> = av * C4[s][p]
+      ---
+      sum[p] := sum[p] + t
+    }
+  }
+  ---
+  A2[rq][0] := sum[0]
+  ---
+  A2[rq][1] := sum[1]
+  ---
+  A2[rq][2] := sum[2]
+  ---
+  A2[rq][3] := sum[3]
+}
+|};
+    inputs = [ ("A2", data "A2" (16 * 4)); ("C4", data "C4" (4 * 4)) ];
+    outputs = [ "A2" ];
+    reference =
+      (fun get ->
+        let a2 = Array.copy (get "A2") in
+        let c4 = get "C4" in
+        let sum = Array.make 4 0 in
+        for rq = 0 to 15 do
+          for p = 0 to 3 do
+            sum.(p) <- 0;
+            for s = 0 to 3 do
+              sum.(p) <- sum.(p) +% (a2.((rq * 4) + s) *% c4.((s * 4) + p))
+            done
+          done;
+          for p = 0 to 3 do
+            a2.((rq * 4) + p) <- sum.(p)
+          done
+        done;
+        [ ("A2", a2) ]);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* 13. mvt: x1 += A y1; x2 += A^T y2                                   *)
+(* ------------------------------------------------------------------ *)
+
+let mvt =
+  {
+    name = "mvt";
+    description = "matrix-vector product and transpose";
+    source =
+      {|
+decl A: ubit<32>[8][8];
+decl x1: ubit<32>[8];
+decl x2: ubit<32>[8];
+decl y1: ubit<32>[8];
+decl y2: ubit<32>[8];
+for (let i: ubit<4> = 0..8) {
+  for (let j: ubit<4> = 0..8) {
+    let t: ubit<32> = A[i][j] * y1[j]
+    ---
+    x1[i] := x1[i] + t
+  }
+}
+---
+for (let i: ubit<4> = 0..8) {
+  for (let j: ubit<4> = 0..8) {
+    let u: ubit<32> = A[j][i] * y2[j]
+    ---
+    x2[i] := x2[i] + u
+  }
+}
+|};
+    unrolled =
+      Some
+        (Printf.sprintf
+           {|
+decl A: ubit<32>[8 bank 8][8];
+decl x1: ubit<32>[8 bank 8];
+decl x2: ubit<32>[8];
+decl y1: ubit<32>[8];
+decl y2: ubit<32>[8 bank 8];
+decl ps: ubit<32>[8 bank 8];
+for (let j: ubit<4> = 0..8) {
+  let yv: ubit<32> = y1[j]
+  ---
+  for (let i: ubit<4> = 0..8) unroll 8 {
+    let t: ubit<32> = A[i][j] * yv
+    ---
+    x1[i] := x1[i] + t
+  }
+}
+---
+for (let i: ubit<4> = 0..8) {
+  for (let j: ubit<4> = 0..8) unroll 8 {
+    ps[j] := A[j][i] * y2[j]
+  }
+  ---
+  x2[i] := x2[i] + %s
+}
+|}
+           (tree8 "ps"));
+    inputs = [ mat "A"; vec "x1"; vec "x2"; vec "y1"; vec "y2" ];
+    outputs = [ "x1"; "x2" ];
+    reference =
+      (fun get ->
+        let a = get "A" and y1 = get "y1" and y2 = get "y2" in
+        let x1 = Array.copy (get "x1") and x2 = Array.copy (get "x2") in
+        for i = 0 to n - 1 do
+          for j = 0 to n - 1 do
+            x1.(i) <- x1.(i) +% (a.(ix i j) *% y1.(j))
+          done
+        done;
+        for i = 0 to n - 1 do
+          for j = 0 to n - 1 do
+            x2.(i) <- x2.(i) +% (a.(ix j i) *% y2.(j))
+          done
+        done;
+        [ ("x1", x1); ("x2", x2) ]);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* 14. cholesky (integer variant; division and sqrt as in hardware)    *)
+(* ------------------------------------------------------------------ *)
+
+let cholesky =
+  {
+    name = "cholesky";
+    description = "Cholesky decomposition";
+    source =
+      {|
+decl A: ubit<32>[8][8];
+for (let i: ubit<4> = 0..8) {
+  let j: ubit<4> = 0
+  ---
+  while (j < i) {
+    let k: ubit<4> = 0
+    ---
+    while (k < j) {
+      let t: ubit<32> = A[i][k] * A[j][k]
+      ---
+      A[i][j] := A[i][j] - t
+      ---
+      k := k + 1
+    }
+    ---
+    A[i][j] := A[i][j] / A[j][j]
+    ---
+    j := j + 1
+  }
+  ---
+  let k2: ubit<4> = 0
+  ---
+  while (k2 < i) {
+    let t2: ubit<32> = A[i][k2] * A[i][k2]
+    ---
+    A[i][i] := A[i][i] - t2
+    ---
+    k2 := k2 + 1
+  }
+  ---
+  A[i][i] := sqrt(A[i][i])
+}
+|};
+    unrolled = None;
+    inputs = [ mat "A" ];
+    outputs = [ "A" ];
+    reference =
+      (fun get ->
+        let a = Array.copy (get "A") in
+        for i = 0 to n - 1 do
+          for j = 0 to i - 1 do
+            for k = 0 to j - 1 do
+              a.(ix i j) <- a.(ix i j) -% (a.(ix i k) *% a.(ix j k))
+            done;
+            a.(ix i j) <- a.(ix i j) /% a.(ix j j)
+          done;
+          for k = 0 to i - 1 do
+            a.(ix i i) <- a.(ix i i) -% (a.(ix i k) *% a.(ix i k))
+          done;
+          a.(ix i i) <- isq a.(ix i i)
+        done;
+        [ ("A", a) ]);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* 15. durbin: Toeplitz system solver                                  *)
+(* ------------------------------------------------------------------ *)
+
+let durbin =
+  {
+    name = "durbin";
+    description = "Toeplitz system solver (Levinson-Durbin)";
+    source =
+      {|
+decl r: ubit<32>[8];
+decl y: ubit<32>[8];
+decl z: ubit<32>[8];
+let alpha: ubit<32> = 0 - r[0];
+let beta: ubit<32> = 1
+---
+y[0] := 0 - r[0]
+---
+for (let k: ubit<4> = 1..8) {
+  let aa: ubit<32> = alpha * alpha
+  ---
+  let om: ubit<32> = 1 - aa
+  ---
+  beta := om * beta
+  ---
+  let sum: ubit<32> = 0;
+  let i: ubit<4> = 0
+  ---
+  while (i < k) {
+    let idx: ubit<4> = k - i - 1
+    ---
+    let t: ubit<32> = r[idx] * y[i]
+    ---
+    sum := sum + t
+    ---
+    i := i + 1
+  }
+  ---
+  let num: ubit<32> = r[k] + sum
+  ---
+  alpha := (0 - num) / beta
+  ---
+  let i2: ubit<4> = 0
+  ---
+  while (i2 < k) {
+    let idx2: ubit<4> = k - i2 - 1
+    ---
+    let t2: ubit<32> = alpha * y[idx2]
+    ---
+    z[i2] := y[i2] + t2
+    ---
+    i2 := i2 + 1
+  }
+  ---
+  let i3: ubit<4> = 0
+  ---
+  while (i3 < k) {
+    y[i3] := z[i3]
+    ---
+    i3 := i3 + 1
+  }
+  ---
+  y[k] := alpha
+}
+|};
+    unrolled = None;
+    inputs = [ vec "r" ];
+    outputs = [ "y" ];
+    reference =
+      (fun get ->
+        let r = get "r" in
+        let y = Array.make n 0 and z = Array.make n 0 in
+        let alpha = ref (0 -% r.(0)) and beta = ref 1 in
+        y.(0) <- 0 -% r.(0);
+        for k = 1 to n - 1 do
+          beta := (1 -% (!alpha *% !alpha)) *% !beta;
+          let sum = ref 0 in
+          for i = 0 to k - 1 do
+            sum := !sum +% (r.(k - i - 1) *% y.(i))
+          done;
+          alpha := (0 -% (r.(k) +% !sum)) /% !beta;
+          for i = 0 to k - 1 do
+            z.(i) <- y.(i) +% (!alpha *% y.(k - i - 1))
+          done;
+          for i = 0 to k - 1 do
+            y.(i) <- z.(i)
+          done;
+          y.(k) <- !alpha
+        done;
+        [ ("y", y) ]);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* 16. gramschmidt: QR decomposition                                   *)
+(* ------------------------------------------------------------------ *)
+
+let gramschmidt =
+  {
+    name = "gramschmidt";
+    description = "Gram-Schmidt QR decomposition";
+    source =
+      {|
+decl A: ubit<32>[8][8];
+decl Q: ubit<32>[8][8];
+decl R: ubit<32>[8][8];
+for (let k: ubit<4> = 0..8) {
+  let nrm: ubit<32> = 0
+  ---
+  for (let i: ubit<4> = 0..8) {
+    let t: ubit<32> = A[i][k] * A[i][k]
+    ---
+    nrm := nrm + t
+  }
+  ---
+  R[k][k] := sqrt(nrm)
+  ---
+  for (let i: ubit<4> = 0..8) {
+    Q[i][k] := A[i][k] / R[k][k]
+  }
+  ---
+  let j: ubit<4> = k + 1
+  ---
+  while (j < 8) {
+    R[k][j] := 0
+    ---
+    for (let i: ubit<4> = 0..8) {
+      let t2: ubit<32> = Q[i][k] * A[i][j]
+      ---
+      R[k][j] := R[k][j] + t2
+    }
+    ---
+    for (let i: ubit<4> = 0..8) {
+      let t3: ubit<32> = Q[i][k] * R[k][j]
+      ---
+      A[i][j] := A[i][j] - t3
+    }
+    ---
+    j := j + 1
+  }
+}
+|};
+    unrolled = None;
+    inputs = [ mat "A" ];
+    outputs = [ "A"; "R" ];
+    reference =
+      (fun get ->
+        let a = Array.copy (get "A") in
+        let q = Array.make (n * n) 0 and r = Array.make (n * n) 0 in
+        for k = 0 to n - 1 do
+          let nrm = ref 0 in
+          for i = 0 to n - 1 do
+            nrm := !nrm +% (a.(ix i k) *% a.(ix i k))
+          done;
+          r.(ix k k) <- isq !nrm;
+          for i = 0 to n - 1 do
+            q.(ix i k) <- a.(ix i k) /% r.(ix k k)
+          done;
+          for j = k + 1 to n - 1 do
+            r.(ix k j) <- 0;
+            for i = 0 to n - 1 do
+              r.(ix k j) <- r.(ix k j) +% (q.(ix i k) *% a.(ix i j))
+            done;
+            for i = 0 to n - 1 do
+              a.(ix i j) <- a.(ix i j) -% (q.(ix i k) *% r.(ix k j))
+            done
+          done
+        done;
+        [ ("A", a); ("R", r) ]);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* 17. lu: LU decomposition (in place)                                 *)
+(* ------------------------------------------------------------------ *)
+
+let lu =
+  {
+    name = "lu";
+    description = "LU decomposition";
+    source =
+      {|
+decl A: ubit<32>[8][8];
+for (let i: ubit<4> = 0..8) {
+  let j: ubit<4> = 0
+  ---
+  while (j < i) {
+    let k: ubit<4> = 0
+    ---
+    while (k < j) {
+      let t: ubit<32> = A[i][k] * A[k][j]
+      ---
+      A[i][j] := A[i][j] - t
+      ---
+      k := k + 1
+    }
+    ---
+    A[i][j] := A[i][j] / A[j][j]
+    ---
+    j := j + 1
+  }
+  ---
+  let j2: ubit<4> = i
+  ---
+  while (j2 < 8) {
+    let k2: ubit<4> = 0
+    ---
+    while (k2 < i) {
+      let t2: ubit<32> = A[i][k2] * A[k2][j2]
+      ---
+      A[i][j2] := A[i][j2] - t2
+      ---
+      k2 := k2 + 1
+    }
+    ---
+    j2 := j2 + 1
+  }
+}
+|};
+    unrolled = None;
+    inputs = [ mat "A" ];
+    outputs = [ "A" ];
+    reference =
+      (fun get ->
+        let a = Array.copy (get "A") in
+        for i = 0 to n - 1 do
+          for j = 0 to i - 1 do
+            for k = 0 to j - 1 do
+              a.(ix i j) <- a.(ix i j) -% (a.(ix i k) *% a.(ix k j))
+            done;
+            a.(ix i j) <- a.(ix i j) /% a.(ix j j)
+          done;
+          for j = i to n - 1 do
+            for k = 0 to i - 1 do
+              a.(ix i j) <- a.(ix i j) -% (a.(ix i k) *% a.(ix k j))
+            done
+          done
+        done;
+        [ ("A", a) ]);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* 18. ludcmp: LU + triangular solves                                  *)
+(* ------------------------------------------------------------------ *)
+
+let ludcmp =
+  {
+    name = "ludcmp";
+    description = "LU decomposition followed by forward/back substitution";
+    source =
+      {|
+decl A: ubit<32>[8][8];
+decl b: ubit<32>[8];
+decl x: ubit<32>[8];
+decl y: ubit<32>[8];
+for (let i: ubit<4> = 0..8) {
+  let j: ubit<4> = 0
+  ---
+  while (j < i) {
+    let k: ubit<4> = 0
+    ---
+    while (k < j) {
+      let t: ubit<32> = A[i][k] * A[k][j]
+      ---
+      A[i][j] := A[i][j] - t
+      ---
+      k := k + 1
+    }
+    ---
+    A[i][j] := A[i][j] / A[j][j]
+    ---
+    j := j + 1
+  }
+  ---
+  let j2: ubit<4> = i
+  ---
+  while (j2 < 8) {
+    let k2: ubit<4> = 0
+    ---
+    while (k2 < i) {
+      let t2: ubit<32> = A[i][k2] * A[k2][j2]
+      ---
+      A[i][j2] := A[i][j2] - t2
+      ---
+      k2 := k2 + 1
+    }
+    ---
+    j2 := j2 + 1
+  }
+}
+---
+for (let i: ubit<4> = 0..8) {
+  let acc: ubit<32> = b[i]
+  ---
+  let j3: ubit<4> = 0
+  ---
+  while (j3 < i) {
+    let t3: ubit<32> = A[i][j3] * y[j3]
+    ---
+    acc := acc - t3
+    ---
+    j3 := j3 + 1
+  }
+  ---
+  y[i] := acc
+}
+---
+let ii: ubit<4> = 8
+---
+while (ii > 0) {
+  let i2: ubit<4> = ii - 1
+  ---
+  let acc2: ubit<32> = y[i2]
+  ---
+  let j4: ubit<4> = i2 + 1
+  ---
+  while (j4 < 8) {
+    let t4: ubit<32> = A[i2][j4] * x[j4]
+    ---
+    acc2 := acc2 - t4
+    ---
+    j4 := j4 + 1
+  }
+  ---
+  x[i2] := acc2 / A[i2][i2]
+  ---
+  ii := ii - 1
+}
+|};
+    unrolled = None;
+    inputs = [ mat "A"; vec "b" ];
+    outputs = [ "x" ];
+    reference =
+      (fun get ->
+        let a = Array.copy (get "A") in
+        let b = get "b" in
+        let x = Array.make n 0 and y = Array.make n 0 in
+        for i = 0 to n - 1 do
+          for j = 0 to i - 1 do
+            for k = 0 to j - 1 do
+              a.(ix i j) <- a.(ix i j) -% (a.(ix i k) *% a.(ix k j))
+            done;
+            a.(ix i j) <- a.(ix i j) /% a.(ix j j)
+          done;
+          for j = i to n - 1 do
+            for k = 0 to i - 1 do
+              a.(ix i j) <- a.(ix i j) -% (a.(ix i k) *% a.(ix k j))
+            done
+          done
+        done;
+        for i = 0 to n - 1 do
+          let acc = ref b.(i) in
+          for j = 0 to i - 1 do
+            acc := !acc -% (a.(ix i j) *% y.(j))
+          done;
+          y.(i) <- !acc
+        done;
+        for i = n - 1 downto 0 do
+          let acc = ref y.(i) in
+          for j = i + 1 to n - 1 do
+            acc := !acc -% (a.(ix i j) *% x.(j))
+          done;
+          x.(i) <- !acc /% a.(ix i i)
+        done;
+        [ ("x", x) ]);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* 19. trisolv: triangular solver                                      *)
+(* ------------------------------------------------------------------ *)
+
+let trisolv =
+  {
+    name = "trisolv";
+    description = "triangular solver";
+    source =
+      {|
+decl L: ubit<32>[8][8];
+decl b: ubit<32>[8];
+decl x: ubit<32>[8];
+for (let i: ubit<4> = 0..8) {
+  x[i] := b[i]
+  ---
+  let j: ubit<4> = 0
+  ---
+  while (j < i) {
+    let t: ubit<32> = L[i][j] * x[j]
+    ---
+    x[i] := x[i] - t
+    ---
+    j := j + 1
+  }
+  ---
+  x[i] := x[i] / L[i][i]
+}
+|};
+    unrolled = None;
+    inputs = [ mat "L"; vec "b" ];
+    outputs = [ "x" ];
+    reference =
+      (fun get ->
+        let l = get "L" and b = get "b" in
+        let x = Array.make n 0 in
+        for i = 0 to n - 1 do
+          x.(i) <- b.(i);
+          for j = 0 to i - 1 do
+            x.(i) <- x.(i) -% (l.(ix i j) *% x.(j))
+          done;
+          x.(i) <- x.(i) /% l.(ix i i)
+        done;
+        [ ("x", x) ]);
+  }
+
+let all =
+  [
+    gemm; gemver; gesummv; symm; syr2k; syrk; trmm;
+    two_mm; three_mm; atax; bicg; doitgen; mvt;
+    cholesky; durbin; gramschmidt; lu; ludcmp; trisolv;
+  ]
+
+let find name = List.find (fun k -> String.equal k.name name) all
+let unrollable = List.filter (fun k -> k.unrolled <> None) all

@@ -1,0 +1,36 @@
+(** The 19 PolyBench linear-algebra kernels in Dahlia (Section 7.2).
+
+    Each kernel carries its Dahlia source, an unrolled variant for the 11
+    kernels whose parallelism the type discipline admits (banked memories +
+    fully unrolled parallel loops), deterministic input data, and a golden
+    OCaml reference mirroring the source bit-for-bit (32-bit wrapping
+    arithmetic, hardware division/remainder semantics, integer square
+    root).
+
+    Problem sizes are simulation-friendly (N = 8; doitgen 4×4×4); the
+    paper's evaluation measures relative cycle counts and areas, which are
+    size-stable at this scale. *)
+
+type kernel = {
+  name : string;
+  description : string;
+  source : string;  (** Sequential Dahlia source. *)
+  unrolled : string option;  (** Unrolled + banked variant, if admitted. *)
+  inputs : (string * int list) list;
+      (** Logical memory name → deterministic contents. *)
+  outputs : string list;  (** Memories to read back and compare. *)
+  reference : (string -> int array) -> (string * int array) list;
+      (** Golden model: given input lookup, the expected outputs. *)
+}
+
+val n : int
+(** The common problem size (8). *)
+
+val all : kernel list
+(** All 19 kernels, in the paper's category order. *)
+
+val find : string -> kernel
+(** Raises [Not_found]. *)
+
+val unrollable : kernel list
+(** The 11 kernels with an unrolled variant. *)

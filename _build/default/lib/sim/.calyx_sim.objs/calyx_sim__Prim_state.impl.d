@@ -1,0 +1,1 @@
+lib/sim/prim_state.ml: Array Bitvec Calyx Float Format Int64 List Printf

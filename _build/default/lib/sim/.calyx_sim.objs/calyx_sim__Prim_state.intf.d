@@ -1,0 +1,1 @@
+lib/sim/prim_state.mli: Bitvec Calyx

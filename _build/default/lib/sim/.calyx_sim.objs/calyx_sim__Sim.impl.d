@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Array Attrs Bitvec Calyx Format Hashtbl Ir List Prim_state Printer Printf String

@@ -1,0 +1,1 @@
+lib/sim/sim.mli: Bitvec Calyx Ir Prim_state

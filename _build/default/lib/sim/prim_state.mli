@@ -1,0 +1,59 @@
+(** Behavioural models of the Calyx standard primitives.
+
+    Each instantiated primitive cell carries a {!t}. Per clock cycle the
+    simulator calls {!outputs} (possibly many times, during combinational
+    fixpoint iteration) and then {!commit} exactly once at the clock edge.
+
+    Timing contract: a go/done primitive of latency [L] that sees its
+    go/write-enable raised during cycle [t] commits its result at the end of
+    cycle [t+L-1] and presents [done = 1] during cycle [t+L]. Registers and
+    memories follow the same rule with [L = 1]. *)
+
+open Calyx
+
+type t
+
+exception Sim_error of string
+
+val create : string -> int list -> t
+(** [create prim_name params] instantiates fresh state. Raises
+    [Prims.Unknown_primitive] for unknown names. *)
+
+val outputs : t -> read:(string -> Bitvec.t) -> (string * Bitvec.t) list
+(** Current output port values as a function of the input ports (via
+    [read]) and the internal state. Pure with respect to the state. *)
+
+val commit : t -> read:(string -> Bitvec.t) -> unit
+(** Clock edge: update internal state from the input ports. *)
+
+val reset : t -> unit
+(** Clear transient state (done flags, pipeline counters); keeps memory and
+    register contents. *)
+
+(** {1 Test-bench access (registers and memories)} *)
+
+val get_register : t -> Bitvec.t
+(** Raises {!Sim_error} if the primitive is not a register. *)
+
+val set_register : t -> Bitvec.t -> unit
+
+val get_memory : t -> Bitvec.t array
+(** A copy of a memory's contents (row-major for [std_mem_d2]). Raises
+    {!Sim_error} if the primitive is not a memory. *)
+
+val set_memory : t -> Bitvec.t array -> unit
+(** Load memory contents; lengths must match. *)
+
+val isqrt : int64 -> int64
+(** Integer square root (used by the [std_sqrt] model and its tests). *)
+
+val custom :
+  outputs:((string -> Bitvec.t) -> (string * Bitvec.t) list) ->
+  commit:((string -> Bitvec.t) -> unit) ->
+  ?reset:(unit -> unit) ->
+  unit ->
+  t
+(** A user-supplied behavioural model — how [extern] black-box components
+    (Section 6.2) are linked into simulation. [outputs] is the
+    combinational function of the current inputs and internal state;
+    [commit] is the clock edge. *)

@@ -1,0 +1,634 @@
+open Calyx
+open Ir
+
+exception Timeout of int
+exception Conflict of string
+exception Unstable of string
+
+(* ------------------------------------------------------------------ *)
+(* Control interpreter state (the reference semantics of Section 3.4) *)
+(* ------------------------------------------------------------------ *)
+
+type cstate =
+  | CDone
+  | CEnable of string
+  | CSeq of cstate * control list  (* current child; remaining children *)
+  | CPar of cstate list
+  | CIfCond of string option * port_ref * control * control
+  | CWhileCond of string option * port_ref * control
+  | CWhileBody of cstate * string option * port_ref * control
+
+let rec cstart = function
+  | Empty -> CDone
+  | Enable (g, _) -> CEnable g
+  | Seq (cs, _) -> start_seq cs
+  | Par (cs, _) -> (
+      match List.filter (fun s -> s <> CDone) (List.map cstart cs) with
+      | [] -> CDone
+      | ss -> CPar ss)
+  | If { cond_port; cond_group; tbranch; fbranch; _ } ->
+      CIfCond (cond_group, cond_port, tbranch, fbranch)
+  | While { cond_port; cond_group; body; _ } ->
+      CWhileCond (cond_group, cond_port, body)
+  | Invoke { cell; _ } ->
+      ir_error
+        "simulator: invoke of %s is not directly executable; run the \
+         compile-invoke pass first (Pipelines.compile does)"
+        cell
+
+and start_seq = function
+  | [] -> CDone
+  | c :: rest -> (
+      match cstart c with CDone -> start_seq rest | s -> CSeq (s, rest))
+
+(* Scheduled groups this cycle. The boolean marks whether the group's data
+   assignments are gated off while its done hole reads 1 — this mirrors the
+   compiled [child[go] = state & !child[done]] encoding and prevents e.g. a
+   self-incrementing register group from committing a second write during
+   the done-observation cycle. Condition groups of if/while are exempt:
+   their done is often combinational (constant 1) and their data
+   assignments must be live in the cycle the condition port is read. *)
+let rec cactive acc = function
+  | CDone -> acc
+  | CEnable g -> (g, true) :: acc
+  | CSeq (s, _) -> cactive acc s
+  | CPar ss -> List.fold_left cactive acc ss
+  | CIfCond (Some g, _, _, _) | CWhileCond (Some g, _, _) -> (g, false) :: acc
+  | CIfCond (None, _, _, _) | CWhileCond (None, _, _) -> acc
+  | CWhileBody (s, _, _, _) -> cactive acc s
+
+(* Advance the control state at a clock edge. [group_done] reports whether a
+   group's done hole read 1 this cycle; [port_true] reads a condition port. *)
+let rec cadvance st ~group_done ~port_true =
+  match st with
+  | CDone -> CDone
+  | CEnable g -> if group_done g then CDone else st
+  | CSeq (s, rest) -> (
+      match cadvance s ~group_done ~port_true with
+      | CDone -> start_seq rest
+      | s' -> CSeq (s', rest))
+  | CPar ss -> (
+      match
+        List.filter
+          (fun s -> s <> CDone)
+          (List.map (cadvance ~group_done ~port_true) ss)
+      with
+      | [] -> CDone
+      | ss' -> CPar ss')
+  | CIfCond (cond, port, t, f) ->
+      let resolved = match cond with None -> true | Some g -> group_done g in
+      if resolved then if port_true port then cstart t else cstart f else st
+  | CWhileCond (cond, port, body) ->
+      let resolved = match cond with None -> true | Some g -> group_done g in
+      if not resolved then st
+      else if not (port_true port) then CDone
+      else begin
+        match cstart body with
+        | CDone -> st (* empty body: re-evaluate the condition next cycle *)
+        | s -> CWhileBody (s, cond, port, body)
+      end
+  | CWhileBody (s, cond, port, body) -> (
+      match cadvance s ~group_done ~port_true with
+      | CDone -> CWhileCond (cond, port, body)
+      | s' -> CWhileBody (s', cond, port, body))
+
+(* ------------------------------------------------------------------ *)
+(* Compiled per-instance representation                                *)
+(* ------------------------------------------------------------------ *)
+
+type compiled_assign = {
+  ca_dst : int;
+  ca_guard : Bitvec.t array -> bool;
+  ca_src : Bitvec.t array -> Bitvec.t;
+  ca_text : string;  (* for conflict diagnostics *)
+}
+
+type prim_inst = {
+  pi_cell : string;  (* cell name, for test-bench resolution *)
+  pi_state : Prim_state.t;
+  pi_inputs : (string * int) list;  (* input port name -> slot *)
+  pi_outputs : (string * int) list;
+}
+
+type instance = {
+  i_comp : component;
+  i_slots : int;  (* number of interned ports *)
+  i_zeros : Bitvec.t array;  (* per-slot zero values (template) *)
+  mutable i_env : Bitvec.t array;
+  mutable i_next : Bitvec.t array;
+  i_prims : prim_inst array;
+  i_children : (string * child) array;
+  i_continuous : compiled_assign array;
+  i_group_assigns : (string, compiled_assign array * compiled_assign array) Hashtbl.t;
+      (* done-hole writes (always live while scheduled), data assignments *)
+  i_group_go : (string, int) Hashtbl.t;  (* group -> slot of its go hole *)
+  i_group_done : (string, int) Hashtbl.t;
+  i_input_slots : (string * int) list;  (* This input ports *)
+  i_output_slots : (string * int) list;
+  i_port_ids : (port_ref, int) Hashtbl.t;
+  i_structured : bool;  (* control program is non-empty *)
+  mutable i_ctrl : cstate;
+  mutable i_running : bool;
+  mutable i_done_reg : bool;
+}
+
+and child = {
+  c_inst : instance;
+  c_input_map : (int * int) array;  (* parent slot of c.in -> child input slot *)
+  c_output_map : (int * int) array;  (* child output slot -> parent slot *)
+  c_done_parent_slot : int;  (* parent slot of the child's done output *)
+  mutable c_last_inputs : Bitvec.t array option;
+}
+
+let max_fixpoint_iters = 1000
+
+let rec build ?(externs : (string * (unit -> Prim_state.t)) list = [])
+    (ctx : context) (comp : component) : instance =
+  let port_ids : (port_ref, int) Hashtbl.t = Hashtbl.create 64 in
+  let widths = ref [] in
+  let count = ref 0 in
+  let intern p w =
+    match Hashtbl.find_opt port_ids p with
+    | Some id -> id
+    | None ->
+        let id = !count in
+        Hashtbl.add port_ids p id;
+        widths := w :: !widths;
+        incr count;
+        id
+  in
+  List.iter
+    (fun pd -> ignore (intern (This pd.pd_name) pd.pd_width))
+    (signature_ports comp);
+  List.iter
+    (fun g ->
+      ignore (intern (Hole (g.group_name, "go")) 1);
+      ignore (intern (Hole (g.group_name, "done")) 1))
+    comp.groups;
+  List.iter
+    (fun c ->
+      List.iter
+        (fun (p, w, _) -> ignore (intern (Cell_port (c.cell_name, p)) w))
+        (cell_ports ctx c.cell_proto))
+    comp.cells;
+  let id p =
+    match Hashtbl.find_opt port_ids p with
+    | Some id -> id
+    | None -> ir_error "simulator: unresolved port %a" pp_port_ref p
+  in
+  let slots = !count in
+  let zeros = Array.make (max slots 1) (Bitvec.zero 1) in
+  (* The widths list was consed, so entry 0 describes the last slot. *)
+  List.iteri (fun i w -> zeros.(slots - 1 - i) <- Bitvec.zero w) !widths;
+  let compile_atom = function
+    | Lit v -> fun _ -> v
+    | Port p ->
+        let i = id p in
+        fun env -> env.(i)
+  in
+  let rec compile_guard = function
+    | True -> fun _ -> true
+    | Atom a ->
+        let f = compile_atom a in
+        fun env -> Bitvec.is_true (f env)
+    | Cmp (op, a, b) ->
+        let fa = compile_atom a and fb = compile_atom b in
+        let cmp =
+          match op with
+          | Eq -> Bitvec.eq
+          | Neq -> Bitvec.neq
+          | Lt -> Bitvec.lt
+          | Gt -> Bitvec.gt
+          | Le -> Bitvec.le
+          | Ge -> Bitvec.ge
+        in
+        fun env -> Bitvec.is_true (cmp (fa env) (fb env))
+    | And (g1, g2) ->
+        let f1 = compile_guard g1 and f2 = compile_guard g2 in
+        fun env -> f1 env && f2 env
+    | Or (g1, g2) ->
+        let f1 = compile_guard g1 and f2 = compile_guard g2 in
+        fun env -> f1 env || f2 env
+    | Not g ->
+        let f = compile_guard g in
+        fun env -> not (f env)
+  in
+  let compile_assign a =
+    {
+      ca_dst = id a.dst;
+      ca_guard = compile_guard a.guard;
+      ca_src = compile_atom a.src;
+      ca_text = Format.asprintf "%a" Printer.pp_assignment a;
+    }
+  in
+  let prims = ref [] in
+  let children = ref [] in
+  List.iter
+    (fun c ->
+      match c.cell_proto with
+      | Prim (name, params) ->
+          let ports = cell_ports ctx c.cell_proto in
+          let ins =
+            List.filter_map
+              (fun (p, _, d) ->
+                if d = Input then Some (p, id (Cell_port (c.cell_name, p)))
+                else None)
+              ports
+          in
+          let outs =
+            List.filter_map
+              (fun (p, _, d) ->
+                if d = Output then Some (p, id (Cell_port (c.cell_name, p)))
+                else None)
+              ports
+          in
+          prims :=
+            { pi_cell = c.cell_name;
+              pi_state = Prim_state.create name params;
+              pi_inputs = ins;
+              pi_outputs = outs }
+            :: !prims
+      | Comp name when (find_component ctx name).is_extern <> None -> (
+          (* Black-box RTL (Section 6.2): link a registered behavioural
+             model, playing the role of the .sv file the real compiler
+             links during code generation. *)
+          match List.assoc_opt name externs with
+          | None ->
+              ir_error
+                "simulator: extern component %s has no behavioural model \
+                 (register one via Sim.create ~externs)"
+                name
+          | Some make_state ->
+              let sub = find_component ctx name in
+              let ins =
+                List.filter_map
+                  (fun pd ->
+                    if pd.pd_dir = Input then
+                      Some (pd.pd_name, id (Cell_port (c.cell_name, pd.pd_name)))
+                    else None)
+                  (signature_ports sub)
+              in
+              let outs =
+                List.filter_map
+                  (fun pd ->
+                    if pd.pd_dir = Output then
+                      Some (pd.pd_name, id (Cell_port (c.cell_name, pd.pd_name)))
+                    else None)
+                  (signature_ports sub)
+              in
+              prims :=
+                { pi_cell = c.cell_name; pi_state = make_state ();
+                  pi_inputs = ins; pi_outputs = outs }
+                :: !prims)
+      | Comp name ->
+          let sub = find_component ctx name in
+          let inst = build ~externs ctx sub in
+          let input_map =
+            List.map
+              (fun (p, slot) -> (id (Cell_port (c.cell_name, p)), slot))
+              inst.i_input_slots
+          in
+          let output_map =
+            List.map
+              (fun (p, slot) -> (slot, id (Cell_port (c.cell_name, p))))
+              inst.i_output_slots
+          in
+          children :=
+            ( c.cell_name,
+              {
+                c_inst = inst;
+                c_input_map = Array.of_list input_map;
+                c_output_map = Array.of_list output_map;
+                c_done_parent_slot = id (Cell_port (c.cell_name, "done"));
+                c_last_inputs = None;
+              } )
+            :: !children)
+    comp.cells;
+  let group_assigns = Hashtbl.create 16 in
+  let group_go = Hashtbl.create 16 in
+  let group_done = Hashtbl.create 16 in
+  List.iter
+    (fun g ->
+      let done_slot = id (Hole (g.group_name, "done")) in
+      let dones, datas =
+        List.partition
+          (fun ca -> ca.ca_dst = done_slot)
+          (List.map compile_assign g.assigns)
+      in
+      Hashtbl.replace group_assigns g.group_name
+        (Array.of_list dones, Array.of_list datas);
+      Hashtbl.replace group_go g.group_name (id (Hole (g.group_name, "go")));
+      Hashtbl.replace group_done g.group_name done_slot)
+    comp.groups;
+  let input_slots =
+    List.map (fun pd -> (pd.pd_name, id (This pd.pd_name))) comp.inputs
+  in
+  let output_slots =
+    List.map (fun pd -> (pd.pd_name, id (This pd.pd_name))) comp.outputs
+  in
+  {
+    i_comp = comp;
+    i_slots = slots;
+    i_zeros = zeros;
+    i_env = Array.copy zeros;
+    i_next = Array.copy zeros;
+    i_prims = Array.of_list (List.rev !prims);
+    i_children = Array.of_list (List.rev !children);
+    i_continuous = Array.of_list (List.map compile_assign comp.continuous);
+    i_group_assigns = group_assigns;
+    i_group_go = group_go;
+    i_group_done = group_done;
+    i_input_slots = input_slots;
+    i_output_slots = output_slots;
+    i_port_ids = port_ids;
+    i_structured = comp.control <> Empty;
+    i_ctrl = CDone;
+    i_running = false;
+    i_done_reg = false;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Combinational evaluation                                            *)
+(* ------------------------------------------------------------------ *)
+
+let prim_reader env (pi : prim_inst) name =
+  match List.assoc_opt name pi.pi_inputs with
+  | Some slot -> env.(slot)
+  | None ->
+      (* Reading an output during commit (never happens) or a missing port. *)
+      raise (Prim_state.Sim_error ("unknown primitive input " ^ name))
+
+let go_slot inst = List.assoc "go" inst.i_input_slots
+
+(* Groups active in the current cycle, given the lifecycle state. If the
+   instance is idle but go is high, control starts this very cycle. *)
+let effective_ctrl inst ~go =
+  if not inst.i_structured then CDone
+  else if inst.i_running then inst.i_ctrl
+  else if go then cstart inst.i_comp.control
+  else CDone
+
+let active_groups inst ~go = cactive [] (effective_ctrl inst ~go)
+
+let rec eval_comb inst (inputs : Bitvec.t array) =
+  (* [inputs] is indexed in the order of [i_input_slots]. *)
+  let n = inst.i_slots in
+  let changed = ref true in
+  let iters = ref 0 in
+  while !changed do
+    incr iters;
+    if !iters > max_fixpoint_iters then
+      raise
+        (Unstable
+           (Printf.sprintf "component %s: combinational fixpoint diverged"
+              inst.i_comp.comp_name));
+    changed := false;
+    let old = inst.i_env and next = inst.i_next in
+    Array.blit inst.i_zeros 0 next 0 n;
+    (* Component inputs. *)
+    List.iteri
+      (fun i (_, slot) -> next.(slot) <- inputs.(i))
+      inst.i_input_slots;
+    (* go holes of active groups. *)
+    let go = Bitvec.is_true next.(List.assoc "go" inst.i_input_slots) in
+    let actives = active_groups inst ~go in
+    let group_live (g, gated) =
+      (not gated)
+      || not (Bitvec.is_true old.(Hashtbl.find inst.i_group_done g))
+    in
+    List.iter
+      (fun ((g, _) as entry) ->
+        next.(Hashtbl.find inst.i_group_go g) <-
+          (if group_live entry then Bitvec.one 1 else Bitvec.zero 1))
+      actives;
+    (* Primitive outputs, from the previous iteration's inputs. *)
+    Array.iter
+      (fun pi ->
+        let outs = Prim_state.outputs pi.pi_state ~read:(prim_reader old pi) in
+        List.iter
+          (fun (p, v) ->
+            match List.assoc_opt p pi.pi_outputs with
+            | Some slot -> next.(slot) <- v
+            | None -> ())
+          outs)
+      inst.i_prims;
+    (* Child component outputs. *)
+    Array.iter
+      (fun (_, ch) ->
+        let child_inputs =
+          Array.map (fun (pslot, _) -> old.(pslot)) ch.c_input_map
+        in
+        let recompute =
+          match ch.c_last_inputs with
+          | Some prev ->
+              not (Array.for_all2 (fun a b -> Bitvec.equal a b) prev child_inputs)
+          | None -> true
+        in
+        if recompute then begin
+          eval_comb ch.c_inst child_inputs;
+          ch.c_last_inputs <- Some child_inputs
+        end;
+        Array.iter
+          (fun (cslot, pslot) -> next.(pslot) <- ch.c_inst.i_env.(cslot))
+          ch.c_output_map;
+        (* Structured children report a registered done. *)
+        if ch.c_inst.i_structured then
+          next.(ch.c_done_parent_slot) <-
+            (if ch.c_inst.i_done_reg then Bitvec.one 1 else Bitvec.zero 1))
+      inst.i_children;
+    (* Active assignments, reading the previous iteration. *)
+    let run_assign ca =
+      if ca.ca_guard old then next.(ca.ca_dst) <- ca.ca_src old
+    in
+    Array.iter run_assign inst.i_continuous;
+    List.iter
+      (fun ((g, _) as entry) ->
+        let dones, datas = Hashtbl.find inst.i_group_assigns g in
+        Array.iter run_assign dones;
+        if group_live entry then Array.iter run_assign datas)
+      actives;
+    (* Converged? *)
+    (try
+       for i = 0 to n - 1 do
+         if not (Bitvec.equal old.(i) next.(i)) then raise Exit
+       done
+     with Exit -> changed := true);
+    inst.i_env <- next;
+    inst.i_next <- old
+  done;
+  (* Conflict detection at the fixpoint: two active assignments driving the
+     same port with different values is undefined behaviour. *)
+  let env = inst.i_env in
+  let driver : (int, Bitvec.t * string) Hashtbl.t = Hashtbl.create 16 in
+  let check ca =
+    if ca.ca_guard env then begin
+      let v = ca.ca_src env in
+      match Hashtbl.find_opt driver ca.ca_dst with
+      | Some (v', text') when not (Bitvec.equal v v') ->
+          raise
+            (Conflict
+               (Printf.sprintf
+                  "component %s: conflicting drivers in the same cycle:\n  %s\n  %s"
+                  inst.i_comp.comp_name text' ca.ca_text))
+      | Some _ -> ()
+      | None -> Hashtbl.replace driver ca.ca_dst (v, ca.ca_text)
+    end
+  in
+  let go = Bitvec.is_true env.(go_slot inst) in
+  Array.iter check inst.i_continuous;
+  List.iter
+    (fun (g, gated) ->
+      let dones, datas = Hashtbl.find inst.i_group_assigns g in
+      Array.iter check dones;
+      let live =
+        (not gated)
+        || not (Bitvec.is_true env.(Hashtbl.find inst.i_group_done g))
+      in
+      if live then Array.iter check datas)
+    (active_groups inst ~go)
+
+(* ------------------------------------------------------------------ *)
+(* Clock edge                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec commit inst =
+  let env = inst.i_env in
+  (* Primitive state updates. *)
+  Array.iter
+    (fun pi -> Prim_state.commit pi.pi_state ~read:(prim_reader env pi))
+    inst.i_prims;
+  (* Child updates (their env is consistent with the converged parent env). *)
+  Array.iter (fun (_, ch) ->
+      commit ch.c_inst;
+      ch.c_last_inputs <- None)
+    inst.i_children;
+  (* Control lifecycle. *)
+  if inst.i_structured then begin
+    let go = Bitvec.is_true env.(go_slot inst) in
+    if (not inst.i_running) && go then begin
+      inst.i_running <- true;
+      inst.i_ctrl <- cstart inst.i_comp.control
+    end;
+    if inst.i_running then begin
+      let group_done g =
+        Bitvec.is_true env.(Hashtbl.find inst.i_group_done g)
+      in
+      let port_true p =
+        Bitvec.is_true env.(Hashtbl.find inst.i_port_ids p)
+      in
+      inst.i_ctrl <- cadvance inst.i_ctrl ~group_done ~port_true;
+      if inst.i_ctrl = CDone then begin
+        inst.i_running <- false;
+        inst.i_done_reg <- true
+      end
+      else inst.i_done_reg <- false
+    end
+    else inst.i_done_reg <- false
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Public interface                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  root : instance;
+  inputs : Bitvec.t array;  (* indexed like root.i_input_slots *)
+  mutable finished : bool;
+}
+
+let create ?externs ctx =
+  let comp = entry ctx in
+  let root = build ?externs ctx comp in
+  let inputs =
+    Array.of_list
+      (List.map
+         (fun (name, _) ->
+           Bitvec.zero
+             (List.find (fun pd -> pd.pd_name = name) comp.inputs).pd_width)
+         root.i_input_slots)
+  in
+  { root; inputs; finished = false }
+
+let set_input t name v =
+  let rec go i = function
+    | [] -> ir_error "no input port %s" name
+    | (n, _) :: _ when String.equal n name -> t.inputs.(i) <- v
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 t.root.i_input_slots
+
+let read_output t name =
+  match List.assoc_opt name t.root.i_output_slots with
+  | Some slot ->
+      if String.equal name "done" && t.root.i_structured then
+        if t.root.i_done_reg then Bitvec.one 1 else Bitvec.zero 1
+      else t.root.i_env.(slot)
+  | None -> ir_error "no output port %s" name
+
+let cycle t =
+  eval_comb t.root t.inputs;
+  let flat_done =
+    (not t.root.i_structured)
+    && Bitvec.is_true
+         t.root.i_env.(List.assoc "done" t.root.i_output_slots)
+  in
+  commit t.root;
+  let structured_done =
+    t.root.i_structured && t.root.i_done_reg
+  in
+  if flat_done || structured_done then t.finished <- true
+
+let done_seen t = t.finished
+
+let run ?(max_cycles = 5_000_000) t =
+  set_input t "go" (Bitvec.one 1);
+  let cycles = ref 0 in
+  while (not t.finished) && !cycles < max_cycles do
+    cycle t;
+    incr cycles
+  done;
+  if not t.finished then raise (Timeout max_cycles);
+  !cycles
+
+(* Hierarchical test-bench access. *)
+
+let rec resolve_prim inst path =
+  match String.index_opt path '.' with
+  | None -> (
+      match
+        Array.find_opt
+          (fun pi -> String.equal pi.pi_cell path)
+          inst.i_prims
+      with
+      | Some pi -> pi.pi_state
+      | None ->
+          ir_error "no primitive cell %s in %s" path inst.i_comp.comp_name)
+  | Some i ->
+      let hd = String.sub path 0 i in
+      let tl = String.sub path (i + 1) (String.length path - i - 1) in
+      let ch =
+        match
+          Array.find_opt (fun (n, _) -> String.equal n hd) inst.i_children
+        with
+        | Some (_, ch) -> ch
+        | None -> ir_error "no child instance %s" hd
+      in
+      resolve_prim ch.c_inst tl
+
+let read_register t path = Prim_state.get_register (resolve_prim t.root path)
+let write_register t path v = Prim_state.set_register (resolve_prim t.root path) v
+let read_memory t path = Prim_state.get_memory (resolve_prim t.root path)
+let write_memory t path data = Prim_state.set_memory (resolve_prim t.root path) data
+
+let write_memory_ints t path ~width ints =
+  write_memory t path
+    (Array.of_list (List.map (fun v -> Bitvec.of_int ~width v) ints))
+
+let read_memory_ints t path =
+  Array.to_list (Array.map (fun v -> Bitvec.to_int v) (read_memory t path))
+
+let external_memories t =
+  List.filter_map
+    (fun c ->
+      if Attrs.external_mem c.cell_attrs then Some c.cell_name else None)
+    t.root.i_comp.cells

@@ -1,0 +1,75 @@
+(** Cycle-accurate simulation of Calyx programs.
+
+    One engine serves two roles from the paper's evaluation workflow:
+
+    - a {b reference interpreter} for structured programs (groups + control),
+      executing the control-tree semantics directly — the functional oracle
+      used to validate the compiler; and
+    - a {b flat simulator} (the Verilator substitute) for fully compiled
+      programs whose behaviour lives entirely in continuous guarded
+      assignments driven through the [go]/[done] calling convention.
+
+    Both roles share the per-cycle model: a combinational fixpoint over the
+    active assignments and primitive outputs, followed by a clock-edge commit
+    of all stateful primitives. Components instantiated as cells are
+    simulated hierarchically; a structured sub-component starts its control
+    program when its [go] input rises and presents [done] for one cycle when
+    it finishes. *)
+
+open Calyx
+
+type t
+
+exception Timeout of int
+(** Raised by {!run} when the design does not finish within the cycle
+    budget; carries the budget. *)
+
+exception Conflict of string
+(** Two active assignments drove the same port with different values in the
+    same cycle — undefined behaviour per the paper, reported as an error. *)
+
+exception Unstable of string
+(** The combinational fixpoint did not converge (combinational cycle). *)
+
+val create :
+  ?externs:(string * (unit -> Prim_state.t)) list -> Ir.context -> t
+(** Instantiate the entrypoint component of a program. [externs] supplies
+    behavioural models for [extern] black-box components by component name
+    (the simulation-side analogue of linking the referenced [.sv] file,
+    Section 6.2); a fresh state is made per instance. *)
+
+val run : ?max_cycles:int -> t -> int
+(** Drive [go] high and simulate until the design signals [done]; returns
+    the latency in cycles (the done cycle included). [max_cycles] defaults
+    to 5,000,000. *)
+
+val cycle : t -> unit
+(** Advance a single clock cycle (for fine-grained tests). *)
+
+val done_seen : t -> bool
+(** Whether the design has signalled completion. *)
+
+val set_input : t -> string -> Bitvec.t -> unit
+(** Set a top-level input port value (held until changed). *)
+
+val read_output : t -> string -> Bitvec.t
+(** The value of a top-level output port after the last {!cycle}. *)
+
+(** {1 Test-bench access}
+
+    Cells are addressed by dotted hierarchical paths from the entrypoint,
+    e.g. ["pe00.acc"] for register [acc] inside cell [pe00]. *)
+
+val read_register : t -> string -> Bitvec.t
+val write_register : t -> string -> Bitvec.t -> unit
+val read_memory : t -> string -> Bitvec.t array
+val write_memory : t -> string -> Bitvec.t array -> unit
+
+val write_memory_ints : t -> string -> width:int -> int list -> unit
+(** Convenience: load integers at the given element width. *)
+
+val read_memory_ints : t -> string -> int list
+
+val external_memories : t -> string list
+(** Names of top-level cells marked with the ["external"] attribute —
+    the design's test-bench interface. *)

@@ -1,0 +1,1 @@
+lib/synth/area.ml: Calyx Format Hashtbl List Option

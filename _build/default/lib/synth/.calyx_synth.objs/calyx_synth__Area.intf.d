@@ -1,0 +1,1 @@
+lib/synth/area.mli: Calyx Format Ir

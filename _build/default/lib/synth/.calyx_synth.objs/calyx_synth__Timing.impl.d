@@ -1,0 +1,1 @@
+lib/synth/timing.ml: Calyx Hashtbl List Option Prims Printf String

@@ -1,0 +1,133 @@
+open Calyx
+open Calyx.Ir
+
+type report = {
+  levels : int;
+  critical : string list;
+}
+
+exception Combinational_loop of string
+
+let wire_name = function
+  | Cell_port (c, p) -> c ^ "." ^ p
+  | This p -> p
+  | Hole (g, h) -> Printf.sprintf "%s[%s]" g h
+
+(* Logic levels a combinational primitive contributes input-to-output. *)
+let prim_levels = function
+  | "std_wire" | "std_slice" | "std_pad" | "std_const" -> 0
+  | "std_add" | "std_sub" | "std_lt" | "std_gt" | "std_le" | "std_ge"
+  | "std_eq" | "std_neq" | "std_and" | "std_or" | "std_xor" | "std_not" -> 1
+  | "std_lsh" | "std_rsh" -> 2
+  | "std_mult" -> 3
+  | _ -> 0
+
+(* Memories read combinationally: address to read_data is one level. *)
+let mem_prims = [ "std_mem_d1"; "std_mem_d2" ]
+
+let rec component_depth ctx comp =
+  if comp.groups <> [] || comp.control <> Empty then
+    ir_error "timing: component %s is not lowered" comp.comp_name;
+  (* Edges: src port -> (dst port, weight). *)
+  let edges : (port_ref, (port_ref * int) list) Hashtbl.t = Hashtbl.create 64 in
+  let add_edge src dst w =
+    let l = Option.value ~default:[] (Hashtbl.find_opt edges src) in
+    Hashtbl.replace edges src ((dst, w) :: l)
+  in
+  (* Assignments: every read contributes one mux/guard level to the dst. *)
+  List.iter
+    (fun a ->
+      List.iter
+        (fun atom ->
+          match atom with Port p -> add_edge p a.dst 1 | Lit _ -> ())
+        (assignment_atoms a))
+    comp.continuous;
+  (* Cells: combinational input-to-output arcs. *)
+  List.iter
+    (fun c ->
+      match c.cell_proto with
+      | Prim (name, _) ->
+          let info = Prims.info name in
+          let ports = cell_ports ctx c.cell_proto in
+          let ins =
+            List.filter_map
+              (fun (p, _, d) -> if d = Input then Some p else None)
+              ports
+          in
+          let outs =
+            List.filter_map
+              (fun (p, _, d) -> if d = Output then Some p else None)
+              ports
+          in
+          if info.Prims.combinational then
+            List.iter
+              (fun i ->
+                List.iter
+                  (fun o ->
+                    add_edge
+                      (Cell_port (c.cell_name, i))
+                      (Cell_port (c.cell_name, o))
+                      (prim_levels name))
+                  outs)
+              ins
+          else if List.mem name mem_prims then
+            (* Only the asynchronous read path is combinational. *)
+            List.iter
+              (fun i ->
+                if String.length i >= 4 && String.sub i 0 4 = "addr" then
+                  add_edge
+                    (Cell_port (c.cell_name, i))
+                    (Cell_port (c.cell_name, "read_data"))
+                    1)
+              ins
+      | Comp name ->
+          (* Conservative: every input may reach every output through the
+             child's deepest internal path. *)
+          let child = find_component ctx name in
+          let depth = (component_depth ctx child).levels in
+          let ports = cell_ports ctx c.cell_proto in
+          List.iter
+            (fun (i, _, di) ->
+              if di = Input then
+                List.iter
+                  (fun (o, _, d) ->
+                    if d = Output then
+                      add_edge
+                        (Cell_port (c.cell_name, i))
+                        (Cell_port (c.cell_name, o))
+                        depth)
+                  ports)
+            ports)
+    comp.cells;
+  (* Longest path by memoized DFS over the (acyclic) port graph. *)
+  let memo : (port_ref, int * port_ref list) Hashtbl.t = Hashtbl.create 64 in
+  let visiting : (port_ref, unit) Hashtbl.t = Hashtbl.create 16 in
+  let rec depth_of p =
+    match Hashtbl.find_opt memo p with
+    | Some r -> r
+    | None ->
+        if Hashtbl.mem visiting p then
+          raise (Combinational_loop (wire_name p));
+        Hashtbl.replace visiting p ();
+        let best =
+          List.fold_left
+            (fun (bd, bp) (dst, w) ->
+              let d, path = depth_of dst in
+              if d + w > bd then (d + w, dst :: path) else (bd, bp))
+            (0, [])
+            (Option.value ~default:[] (Hashtbl.find_opt edges p))
+        in
+        Hashtbl.remove visiting p;
+        Hashtbl.replace memo p best;
+        best
+  in
+  let levels, path =
+    Hashtbl.fold
+      (fun p _ (bd, bp) ->
+        let d, tail = depth_of p in
+        if d > bd then (d, p :: tail) else (bd, bp))
+      edges (0, [])
+  in
+  { levels; critical = List.map wire_name path }
+
+let context_depth ctx = component_depth ctx (entry ctx)

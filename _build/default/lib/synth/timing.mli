@@ -1,0 +1,28 @@
+(** Combinational critical-path analysis — the paper's Section 9 "burden
+    of synthesizability" direction.
+
+    Estimates, for a fully lowered component, the deepest combinational
+    path in logic levels: guarded assignments and combinational primitives
+    propagate depth; registers, memories and pipelined units cut paths.
+    Frontends (or users, via [calyx_cli stats]) can use the report to spot
+    designs that will struggle to meet a clock period — e.g. a long chain
+    of shared adders behind wide multiplexers. *)
+
+open Calyx
+
+type report = {
+  levels : int;  (** Logic levels on the deepest combinational path. *)
+  critical : string list;
+      (** The path's ports, source to sink (wire names, for diagnostics). *)
+}
+
+exception Combinational_loop of string
+(** The design has a combinational cycle through the named port. *)
+
+val component_depth : Ir.context -> Ir.component -> report
+(** Analyze one lowered (group- and control-free) component; sub-component
+    instances contribute their own internal depth between their input and
+    output ports. *)
+
+val context_depth : Ir.context -> report
+(** {!component_depth} of the entrypoint. *)

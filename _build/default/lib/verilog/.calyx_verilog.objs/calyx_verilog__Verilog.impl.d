@@ -1,0 +1,1 @@
+lib/verilog/verilog.ml: Bitvec Buffer Calyx Hashtbl List Prims Printf String

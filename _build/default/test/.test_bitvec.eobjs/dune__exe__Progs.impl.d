@@ -1,0 +1,1 @@
+test/progs.ml: Calyx

@@ -1,0 +1,1 @@
+test/test_bitvec.ml: Alcotest Bitvec Calyx Int64 List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_dahlia.ml: Alcotest Attrs Calyx Calyx_sim Dahlia Format Ir List Pipelines Polybench Printf

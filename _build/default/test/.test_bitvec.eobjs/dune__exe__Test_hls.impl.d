@@ -1,0 +1,1 @@
+test/test_hls.ml: Alcotest Array Calyx Calyx_sim Calyx_synth Dahlia Hls_model List Pipelines Polybench Printf Systolic

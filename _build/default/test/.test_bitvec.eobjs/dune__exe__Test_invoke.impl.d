@@ -1,0 +1,1 @@
+test/test_invoke.ml: Alcotest Attrs Bitvec Calyx Calyx_sim Compile_invoke Infer_latency List Parser Pass Pipelines Printer Progs String Well_formed

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Attrs Calyx List Prims Progs String Well_formed

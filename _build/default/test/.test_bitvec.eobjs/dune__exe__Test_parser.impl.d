@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Attrs Bitvec Calyx Calyx_sim Ir Lexer List Parser Printer Progs QCheck QCheck_alcotest String Well_formed

@@ -1,0 +1,1 @@
+test/test_polybench.ml: Alcotest Calyx Calyx_synth List Polybench Printf String

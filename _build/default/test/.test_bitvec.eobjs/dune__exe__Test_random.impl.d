@@ -1,0 +1,1 @@
+test/test_random.ml: Alcotest Bitvec Calyx Calyx_sim Calyx_synth Gen List Parser Pipelines Printer Printf QCheck QCheck_alcotest Random String Well_formed

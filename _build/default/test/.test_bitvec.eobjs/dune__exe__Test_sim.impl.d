@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Attrs Bitvec Calyx Calyx_sim Int64 Ir List Parser Pipelines Prims Progs Well_formed

@@ -1,0 +1,1 @@
+test/test_static_timing.ml: Alcotest Attrs Bitvec Calyx Calyx_sim Format Go_insertion Infer_latency Int64 List Pass Pipelines Printer Printf Progs Static_timing

@@ -1,0 +1,1 @@
+test/test_systolic.ml: Alcotest Array Attrs Calyx Calyx_sim Gen Infer_latency Ir List Pass Pipelines Prims Printf QCheck QCheck_alcotest Random Systolic Well_formed

@@ -1,0 +1,1 @@
+test/test_verilog.ml: Alcotest Calyx Calyx_synth Calyx_verilog List Parser Pipelines Progs String Systolic

@@ -1,0 +1,132 @@
+(* Unit and property tests for fixed-width bit vectors. *)
+
+open Calyx
+
+let bv w v = Bitvec.of_int ~width:w v
+
+let test_make_truncates () =
+  Alcotest.(check int64) "8-bit wrap" 4L (Bitvec.to_int64 (bv 8 260));
+  Alcotest.(check int64) "1-bit wrap" 1L (Bitvec.to_int64 (bv 1 3));
+  Alcotest.(check int64) "exact" 255L (Bitvec.to_int64 (bv 8 255))
+
+let test_width_errors () =
+  Alcotest.check_raises "width 0" (Bitvec.Width_error "bit vector width 0 out of range [1, 64]")
+    (fun () -> ignore (bv 0 1));
+  Alcotest.check_raises "width 65" (Bitvec.Width_error "bit vector width 65 out of range [1, 64]")
+    (fun () -> ignore (bv 65 1))
+
+let test_arith () =
+  Alcotest.(check int64) "add wraps" 0L (Bitvec.to_int64 (Bitvec.add (bv 8 255) (bv 8 1)));
+  Alcotest.(check int64) "sub wraps" 255L (Bitvec.to_int64 (Bitvec.sub (bv 8 0) (bv 8 1)));
+  Alcotest.(check int64) "mul wraps" 176L (Bitvec.to_int64 (Bitvec.mul (bv 8 140) (bv 8 100)));
+  Alcotest.(check int64) "div" 7L (Bitvec.to_int64 (Bitvec.div (bv 8 23) (bv 8 3)));
+  Alcotest.(check int64) "rem" 2L (Bitvec.to_int64 (Bitvec.rem (bv 8 23) (bv 8 3)));
+  Alcotest.(check int64) "div by zero is all ones" 255L
+    (Bitvec.to_int64 (Bitvec.div (bv 8 23) (bv 8 0)))
+
+let test_width_mismatch () =
+  Alcotest.check_raises "add widths" (Bitvec.Width_error "add: width mismatch (8 vs 16)")
+    (fun () -> ignore (Bitvec.add (bv 8 1) (bv 16 1)))
+
+let test_cmp_unsigned () =
+  (* 8-bit 200 > 100 even though 200 is negative as a signed byte. *)
+  Alcotest.(check bool) "unsigned gt" true (Bitvec.is_true (Bitvec.gt (bv 8 200) (bv 8 100)));
+  Alcotest.(check bool) "eq" true (Bitvec.is_true (Bitvec.eq (bv 8 42) (bv 8 42)));
+  Alcotest.(check bool) "neq" false (Bitvec.is_true (Bitvec.neq (bv 8 42) (bv 8 42)))
+
+let test_64bit () =
+  let big = Bitvec.make ~width:64 (-1L) in
+  Alcotest.(check bool) "all ones" true (Bitvec.equal big (Bitvec.ones 64));
+  Alcotest.(check int64) "64-bit add wraps" 0L
+    (Bitvec.to_int64 (Bitvec.add big (Bitvec.one 64)));
+  (* Unsigned comparison at width 64: 2^63 > 1. *)
+  let top = Bitvec.make ~width:64 Int64.min_int in
+  Alcotest.(check bool) "msb set is large" true (Bitvec.is_true (Bitvec.gt top (Bitvec.one 64)))
+
+let test_shifts () =
+  Alcotest.(check int64) "shl" 40L (Bitvec.to_int64 (Bitvec.shift_left (bv 8 10) (bv 8 2)));
+  Alcotest.(check int64) "shl overflow" 0L (Bitvec.to_int64 (Bitvec.shift_left (bv 8 1) (bv 8 8)));
+  Alcotest.(check int64) "shr" 2L (Bitvec.to_int64 (Bitvec.shift_right (bv 8 10) (bv 8 2)));
+  Alcotest.(check int64) "shr huge amount" 0L
+    (Bitvec.to_int64 (Bitvec.shift_right (bv 8 10) (bv 8 200)))
+
+let test_resize () =
+  Alcotest.(check int64) "truncate" 4L (Bitvec.to_int64 (Bitvec.truncate (bv 8 0xF4) 3));
+  Alcotest.(check int64) "zero extend" 0xF4L (Bitvec.to_int64 (Bitvec.zero_extend (bv 8 0xF4) 16));
+  Alcotest.(check int64) "concat" 0x12FFL
+    (Bitvec.to_int64 (Bitvec.concat (bv 8 0x12) (bv 8 0xFF)))
+
+let test_pp () =
+  Alcotest.(check string) "pp" "8'd42" (Bitvec.to_string (bv 8 42))
+
+(* Property tests. *)
+
+let arb_pair_same_width =
+  QCheck.make
+    ~print:(fun (w, a, b) -> Printf.sprintf "w=%d a=%Ld b=%Ld" w a b)
+    QCheck.Gen.(
+      let* w = int_range 1 64 in
+      let* a = map Int64.of_int (int_bound 1_000_000) in
+      let* b = map Int64.of_int (int_bound 1_000_000) in
+      return (w, a, b))
+
+let prop_add_commutes =
+  QCheck.Test.make ~name:"add commutes" ~count:500 arb_pair_same_width
+    (fun (w, a, b) ->
+      let x = Bitvec.make ~width:w a and y = Bitvec.make ~width:w b in
+      Bitvec.equal (Bitvec.add x y) (Bitvec.add y x))
+
+let prop_sub_inverse =
+  QCheck.Test.make ~name:"(a + b) - b = a" ~count:500 arb_pair_same_width
+    (fun (w, a, b) ->
+      let x = Bitvec.make ~width:w a and y = Bitvec.make ~width:w b in
+      Bitvec.equal (Bitvec.sub (Bitvec.add x y) y) x)
+
+let prop_div_rem =
+  QCheck.Test.make ~name:"a = b * (a/b) + a%b" ~count:500 arb_pair_same_width
+    (fun (w, a, b) ->
+      let x = Bitvec.make ~width:w a and y = Bitvec.make ~width:w b in
+      QCheck.assume (not (Bitvec.is_zero y));
+      Bitvec.equal x (Bitvec.add (Bitvec.mul y (Bitvec.div x y)) (Bitvec.rem x y)))
+
+let prop_lognot_involutive =
+  QCheck.Test.make ~name:"not (not a) = a" ~count:500 arb_pair_same_width
+    (fun (w, a, _) ->
+      let x = Bitvec.make ~width:w a in
+      Bitvec.equal (Bitvec.lognot (Bitvec.lognot x)) x)
+
+let prop_cmp_total =
+  QCheck.Test.make ~name:"exactly one of lt/eq/gt" ~count:500 arb_pair_same_width
+    (fun (w, a, b) ->
+      let x = Bitvec.make ~width:w a and y = Bitvec.make ~width:w b in
+      let count =
+        List.length
+          (List.filter Bitvec.is_true [ Bitvec.lt x y; Bitvec.eq x y; Bitvec.gt x y ])
+      in
+      count = 1)
+
+let () =
+  Alcotest.run "bitvec"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "make truncates" `Quick test_make_truncates;
+          Alcotest.test_case "width errors" `Quick test_width_errors;
+          Alcotest.test_case "arithmetic" `Quick test_arith;
+          Alcotest.test_case "width mismatch" `Quick test_width_mismatch;
+          Alcotest.test_case "unsigned comparisons" `Quick test_cmp_unsigned;
+          Alcotest.test_case "64-bit edge cases" `Quick test_64bit;
+          Alcotest.test_case "shifts" `Quick test_shifts;
+          Alcotest.test_case "resize and concat" `Quick test_resize;
+          Alcotest.test_case "printing" `Quick test_pp;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_add_commutes;
+            prop_sub_inverse;
+            prop_div_rem;
+            prop_lognot_involutive;
+            prop_cmp_total;
+          ] );
+    ]

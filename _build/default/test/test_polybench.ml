@@ -1,0 +1,136 @@
+(* PolyBench kernel tests: every kernel (sequential and unrolled) must
+   compute its golden reference, under the interpreter and under compiled
+   configurations. *)
+
+let quick_kernels = [ "gemm"; "atax"; "trisolv"; "cholesky"; "durbin" ]
+
+let check_result name (r : Polybench.Harness.result) =
+  if not r.Polybench.Harness.correct then
+    Alcotest.failf "%s: mismatching outputs: %s" name
+      (String.concat ", " r.Polybench.Harness.mismatches);
+  Alcotest.(check bool) (name ^ " ran") true (r.Polybench.Harness.cycles > 0)
+
+let test_interp_quick () =
+  List.iter
+    (fun name ->
+      let k = Polybench.Kernels.find name in
+      check_result (name ^ "/interp")
+        (Polybench.Harness.run_interp k ~unrolled:false))
+    quick_kernels
+
+let test_compiled_all_kernels () =
+  List.iter
+    (fun k ->
+      check_result
+        (k.Polybench.Kernels.name ^ "/compiled")
+        (Polybench.Harness.run k ~unrolled:false))
+    Polybench.Kernels.all
+
+let test_compiled_insensitive () =
+  List.iter
+    (fun name ->
+      let k = Polybench.Kernels.find name in
+      check_result (name ^ "/insensitive")
+        (Polybench.Harness.run ~config:Calyx.Pipelines.insensitive_config k
+           ~unrolled:false))
+    quick_kernels
+
+let test_unrolled_variants () =
+  List.iter
+    (fun k ->
+      check_result
+        (k.Polybench.Kernels.name ^ "/unrolled")
+        (Polybench.Harness.run k ~unrolled:true))
+    Polybench.Kernels.unrollable
+
+let test_unrolled_faster () =
+  (* Unrolling unlocks parallelism: fewer cycles than sequential. *)
+  List.iter
+    (fun name ->
+      let k = Polybench.Kernels.find name in
+      let seq = Polybench.Harness.run k ~unrolled:false in
+      let par = Polybench.Harness.run k ~unrolled:true in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: unrolled %d < sequential %d" name
+           par.Polybench.Harness.cycles seq.Polybench.Harness.cycles)
+        true
+        (par.Polybench.Harness.cycles < seq.Polybench.Harness.cycles))
+    [ "gemm"; "atax"; "gesummv" ]
+
+let test_static_speedup_all () =
+  (* The Sensitive pass speeds up every kernel (Figure 9c's direction). *)
+  List.iter
+    (fun name ->
+      let k = Polybench.Kernels.find name in
+      let stat = Polybench.Harness.run k ~unrolled:false in
+      let insens =
+        Polybench.Harness.run ~config:Calyx.Pipelines.insensitive_config k
+          ~unrolled:false
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: static %d < insensitive %d" name
+           stat.Polybench.Harness.cycles insens.Polybench.Harness.cycles)
+        true
+        (stat.Polybench.Harness.cycles < insens.Polybench.Harness.cycles))
+    quick_kernels
+
+let test_register_sharing_reduces_registers () =
+  (* Figure 9b's direction: register sharing reduces register cells. *)
+  let open Calyx.Pipelines in
+  let count config name =
+    let k = Polybench.Kernels.find name in
+    let r = Polybench.Harness.run ~config k ~unrolled:false in
+    (r.Polybench.Harness.area.Calyx_synth.Area.register_cells,
+     r.Polybench.Harness.correct)
+  in
+  List.iter
+    (fun name ->
+      let base, ok1 = count insensitive_config name in
+      let shared, ok2 =
+        count { insensitive_config with register_sharing = true } name
+      in
+      Alcotest.(check bool) (name ^ " correct") true (ok1 && ok2);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %d <= %d registers" name shared base)
+        true (shared <= base))
+    [ "gemm"; "gemver"; "trisolv" ]
+
+let test_inputs_deterministic () =
+  let k = Polybench.Kernels.find "gemm" in
+  let k' = Polybench.Kernels.find "gemm" in
+  Alcotest.(check bool) "same inputs" true
+    (k.Polybench.Kernels.inputs = k'.Polybench.Kernels.inputs)
+
+let test_kernel_count () =
+  Alcotest.(check int) "19 kernels" 19 (List.length Polybench.Kernels.all);
+  Alcotest.(check int) "11 unrollable" 11
+    (List.length Polybench.Kernels.unrollable)
+
+let () =
+  Alcotest.run "polybench"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "kernel inventory" `Quick test_kernel_count;
+          Alcotest.test_case "deterministic inputs" `Quick
+            test_inputs_deterministic;
+        ] );
+      ( "correctness",
+        [
+          Alcotest.test_case "interpreter (subset)" `Quick test_interp_quick;
+          Alcotest.test_case "all kernels compiled" `Slow
+            test_compiled_all_kernels;
+          Alcotest.test_case "insensitive configuration" `Quick
+            test_compiled_insensitive;
+          Alcotest.test_case "all unrolled variants" `Slow
+            test_unrolled_variants;
+        ] );
+      ( "performance shape",
+        [
+          Alcotest.test_case "unrolling speeds up" `Slow test_unrolled_faster;
+          Alcotest.test_case "static compilation speeds up" `Slow
+            test_static_speedup_all;
+          Alcotest.test_case "register sharing reduces registers" `Slow
+            test_register_sharing_reduces_registers;
+        ] );
+    ]

@@ -1,0 +1,350 @@
+(* Semantics tests for the reference interpreter (structured programs). *)
+
+open Calyx
+
+let run_ctx ?max_cycles ctx =
+  Well_formed.check ctx;
+  let sim = Calyx_sim.Sim.create ctx in
+  let cycles = Calyx_sim.Sim.run ?max_cycles sim in
+  (sim, cycles)
+
+let reg_int sim path = Bitvec.to_int (Calyx_sim.Sim.read_register sim path)
+
+let test_seq_writes () =
+  let sim, cycles = run_ctx (Progs.two_writes_seq ()) in
+  (* Each register write takes two latency-insensitive cycles. *)
+  Alcotest.(check int) "latency" 4 cycles;
+  Alcotest.(check int) "final value" 2 (reg_int sim "x")
+
+let test_par_writes () =
+  let sim, cycles = run_ctx (Progs.two_writes_par ()) in
+  Alcotest.(check int) "latency" 2 cycles;
+  Alcotest.(check int) "x" 1 (reg_int sim "x");
+  Alcotest.(check int) "y" 2 (reg_int sim "y")
+
+let test_counter () =
+  let sim, cycles = run_ctx (Progs.counter ~limit:5 ()) in
+  Alcotest.(check int) "count" 5 (reg_int sim "r");
+  (* init (2) + 5 * (cond 1 + incr 2) + final cond (1) = 18. *)
+  Alcotest.(check int) "latency" 18 cycles
+
+let test_if_true () =
+  let sim, _ = run_ctx (Progs.if_program ~x:1 ~y:9 ()) in
+  Alcotest.(check int) "then branch" 1 (reg_int sim "r")
+
+let test_if_false () =
+  let sim, cycles = run_ctx (Progs.if_program ~x:9 ~y:1 ()) in
+  Alcotest.(check int) "else branch" 2 (reg_int sim "r");
+  (* cond (1 cycle, combinational done) + branch write (2). *)
+  Alcotest.(check int) "latency" 3 cycles
+
+let test_reduction_tree () =
+  let ctx = Progs.reduction_tree ~len:4 () in
+  let sim = Calyx_sim.Sim.create ctx in
+  let m0 = [ 1; 2; 3; 4 ]
+  and m1 = [ 10; 20; 30; 40 ]
+  and m2 = [ 100; 200; 300; 400 ]
+  and m3 = [ 5; 6; 7; 8 ] in
+  Calyx_sim.Sim.write_memory_ints sim "m0" ~width:32 m0;
+  Calyx_sim.Sim.write_memory_ints sim "m1" ~width:32 m1;
+  Calyx_sim.Sim.write_memory_ints sim "m2" ~width:32 m2;
+  Calyx_sim.Sim.write_memory_ints sim "m3" ~width:32 m3;
+  let cycles = Calyx_sim.Sim.run sim in
+  Alcotest.(check bool) "terminates" true (cycles > 0);
+  let expected =
+    List.map2 ( + ) (List.map2 ( + ) m0 m1) (List.map2 ( + ) m2 m3)
+  in
+  Alcotest.(check (list int)) "sums" expected
+    (Calyx_sim.Sim.read_memory_ints sim "out")
+
+let test_external_memories () =
+  let ctx = Progs.reduction_tree () in
+  let sim = Calyx_sim.Sim.create ctx in
+  Alcotest.(check (list string)) "externals"
+    [ "m0"; "m1"; "m2"; "m3"; "out" ]
+    (Calyx_sim.Sim.external_memories sim)
+
+let test_hierarchy () =
+  let sim, _ = run_ctx (Progs.hierarchy ~input:21 ()) in
+  Alcotest.(check int) "doubled" 42 (reg_int sim "r");
+  Alcotest.(check int) "child register" 42 (reg_int sim "d.acc")
+
+let test_mult_pipe () =
+  let sim, cycles = run_ctx (Progs.mult_program ~x:7 ~y:6 ()) in
+  Alcotest.(check int) "product" 42 (reg_int sim "r");
+  (* go during cycles 0..3, multiplier done at cycle 4, register write
+     commits at the end of cycle 4, register done observed at cycle 5. *)
+  Alcotest.(check int) "latency" 6 cycles
+
+let test_conflict_detected () =
+  let ctx = Progs.conflict_program () in
+  let sim = Calyx_sim.Sim.create ctx in
+  Alcotest.(check bool) "raises Conflict" true
+    (try
+       ignore (Calyx_sim.Sim.run sim);
+       false
+     with Calyx_sim.Sim.Conflict _ -> true)
+
+let test_unstable_detected () =
+  let ctx = Progs.unstable_program () in
+  let sim = Calyx_sim.Sim.create ctx in
+  Alcotest.(check bool) "raises Unstable" true
+    (try
+       ignore (Calyx_sim.Sim.run sim);
+       false
+     with Calyx_sim.Sim.Unstable _ -> true)
+
+let test_timeout () =
+  (* A group whose done never rises. *)
+  let open Calyx.Builder in
+  let main =
+    component "main"
+    |> with_cells [ reg "r" 8 ]
+    |> with_groups
+         [
+           group "stuck"
+             [
+               assign (Ir.Hole ("stuck", "done")) (pa "r" "done");
+             ];
+         ]
+    |> with_control (enable "stuck")
+  in
+  let sim = Calyx_sim.Sim.create (context [ main ]) in
+  Alcotest.check_raises "timeout" (Calyx_sim.Sim.Timeout 100) (fun () ->
+      ignore (Calyx_sim.Sim.run ~max_cycles:100 sim))
+
+let test_empty_control_times_out_without_done () =
+  (* An empty control program finishes immediately. *)
+  let open Calyx.Builder in
+  let main =
+    component "main" |> with_control (seq [])
+  in
+  let sim = Calyx_sim.Sim.create (context [ main ]) in
+  (* seq [] is structurally Empty-like; control Seq([],_) is non-Empty so the
+     component is structured and finishes in one cycle. *)
+  let cycles = Calyx_sim.Sim.run sim in
+  Alcotest.(check int) "one cycle" 1 cycles
+
+let test_mem_d2 () =
+  (* A 2-D memory store and read through a small program. *)
+  let open Calyx.Builder in
+  let main =
+    component "main"
+    |> with_cells
+         [
+           prim ~attrs:(Attrs.of_list [ ("external", 1) ]) "m" "std_mem_d2"
+             [ 16; 3; 4; 2; 2 ];
+           reg "r" 16;
+         ]
+    |> with_groups
+         [
+           group "store"
+             [
+               assign (port "m" "addr0") (lit ~width:2 2);
+               assign (port "m" "addr1") (lit ~width:2 3);
+               assign (port "m" "write_data") (lit ~width:16 777);
+               assign (port "m" "write_en") (bit true);
+               assign (hole "store" "done") (pa "m" "done");
+             ];
+           group "load"
+             [
+               assign (port "m" "addr0") (lit ~width:2 2);
+               assign (port "m" "addr1") (lit ~width:2 3);
+               assign (port "r" "in") (pa "m" "read_data");
+               assign (port "r" "write_en") (bit true);
+               assign (hole "load" "done") (pa "r" "done");
+             ];
+         ]
+    |> with_control (seq [ enable "store"; enable "load" ])
+  in
+  let sim = Calyx_sim.Sim.create (context [ main ]) in
+  ignore (Calyx_sim.Sim.run sim);
+  Alcotest.(check int) "read back" 777
+    (Bitvec.to_int (Calyx_sim.Sim.read_register sim "r"));
+  (* Row-major flattening: index 2*4 + 3 = 11. *)
+  let contents = Calyx_sim.Sim.read_memory_ints sim "m" in
+  Alcotest.(check int) "flat position" 777 (List.nth contents 11)
+
+let test_width_adapters_and_ops () =
+  (* slice, pad, div, shifts through a single combinational group. *)
+  let open Calyx.Builder in
+  let store target src =
+    [
+      assign (port target "in") src;
+      assign (port target "write_en") (bit true);
+    ]
+  in
+  let main =
+    component "main"
+    |> with_cells
+         [
+           prim "sl" "std_slice" [ 16; 4 ];
+           prim "pd" "std_pad" [ 4; 16 ];
+           prim "sh" "std_lsh" [ 16 ];
+           prim "xr" "std_xor" [ 16 ];
+           reg "a" 4; reg "b" 16; reg "c" 16; reg "d" 16;
+         ]
+    |> with_groups
+         [
+           group "go_all"
+             ([
+                assign (port "sl" "in") (lit ~width:16 0xABCD);
+                assign (port "pd" "in") (lit ~width:4 9);
+                assign (port "sh" "left") (lit ~width:16 3);
+                assign (port "sh" "right") (lit ~width:16 4);
+                assign (port "xr" "left") (lit ~width:16 0xF0F0);
+                assign (port "xr" "right") (lit ~width:16 0x0FF0);
+              ]
+             @ store "a" (pa "sl" "out")
+             @ store "b" (pa "pd" "out")
+             @ store "c" (pa "sh" "out")
+             @ store "d" (pa "xr" "out")
+             @ [ assign (hole "go_all" "done") (pa "a" "done") ])
+         ]
+    |> with_control (enable "go_all")
+  in
+  let sim = Calyx_sim.Sim.create (context [ main ]) in
+  ignore (Calyx_sim.Sim.run sim);
+  let reg r = Bitvec.to_int (Calyx_sim.Sim.read_register sim r) in
+  Alcotest.(check int) "slice" 0xD (reg "a");
+  Alcotest.(check int) "pad" 9 (reg "b");
+  Alcotest.(check int) "shift" 48 (reg "c");
+  Alcotest.(check int) "xor" 0xFF00 (reg "d")
+
+let test_div_pipe () =
+  let open Calyx.Builder in
+  let main =
+    component "main"
+    |> with_cells [ prim "dv" "std_div_pipe" [ 16 ]; reg "q" 16; reg "m" 16 ]
+    |> with_groups
+         [
+           group "divide"
+             [
+               assign (port "dv" "left") (lit ~width:16 103);
+               assign (port "dv" "right") (lit ~width:16 10);
+               assign ~guard:(g_not (g_port "dv" "done")) (port "dv" "go")
+                 (bit true);
+               assign (port "q" "in") (pa "dv" "out_quotient");
+               assign (port "q" "write_en") (pa "dv" "done");
+               assign (port "m" "in") (pa "dv" "out_remainder");
+               assign (port "m" "write_en") (pa "dv" "done");
+               assign (hole "divide" "done") (pa "q" "done");
+             ];
+         ]
+    |> with_control (enable "divide")
+  in
+  let sim = Calyx_sim.Sim.create (context [ main ]) in
+  let cycles = Calyx_sim.Sim.run sim in
+  Alcotest.(check int) "quotient" 10
+    (Bitvec.to_int (Calyx_sim.Sim.read_register sim "q"));
+  Alcotest.(check int) "remainder" 3
+    (Bitvec.to_int (Calyx_sim.Sim.read_register sim "m"));
+  Alcotest.(check int) "latency" (Prims.div_latency + 2) cycles
+
+(* Section 6.2: extern black-box components linked into simulation with a
+   user-supplied behavioural model (the analogue of linking sqrt.sv). *)
+let test_extern_behavioural_model () =
+  let src = {|
+extern "sqrt.sv" {
+  component ext_sqrt(in: 32, go: 1) -> (out: 32, done: 1);
+}
+component main(go: 1) -> (done: 1) {
+  cells { s = ext_sqrt(); r = std_reg(32); }
+  wires {
+    group foo {
+      s.in = 32'd1764;
+      s.go = !s.done ? 1'd1;
+      r.in = s.out;
+      r.write_en = s.done;
+      foo[done] = r.done;
+    }
+  }
+  control { foo; }
+}
+|} in
+  let ctx = Parser.parse_string src in
+  Well_formed.check ctx;
+  (* Without a model, simulation refuses. *)
+  Alcotest.(check bool) "unlinked extern rejected" true
+    (try
+       ignore (Calyx_sim.Sim.create ctx);
+       false
+     with Ir.Ir_error _ -> true);
+  (* A two-cycle behavioural square root. *)
+  let make_model () =
+    let pending = ref false and done_ = ref false and out = ref (Bitvec.zero 32) in
+    Calyx_sim.Prim_state.custom
+      ~outputs:(fun _read ->
+        [ ("out", !out);
+          ("done", if !done_ then Bitvec.one 1 else Bitvec.zero 1) ])
+      ~commit:(fun read ->
+        if not (Bitvec.is_true (read "go")) then begin
+          pending := false;
+          done_ := false
+        end
+        else if !done_ then done_ := false
+        else if !pending then begin
+          out :=
+            Bitvec.make ~width:32
+              (Calyx_sim.Prim_state.isqrt (Bitvec.to_int64 (read "in")));
+          done_ := true
+        end
+        else pending := true)
+      ()
+  in
+  List.iter
+    (fun ctx' ->
+      let sim = Calyx_sim.Sim.create ~externs:[ ("ext_sqrt", make_model) ] ctx' in
+      ignore (Calyx_sim.Sim.run sim);
+      Alcotest.(check int) "sqrt(1764)" 42
+        (Bitvec.to_int (Calyx_sim.Sim.read_register sim "r")))
+    [ ctx; Pipelines.compile ctx ]
+
+let test_sqrt_prim () =
+  Alcotest.(check int64) "isqrt 0" 0L (Calyx_sim.Prim_state.isqrt 0L);
+  Alcotest.(check int64) "isqrt 1" 1L (Calyx_sim.Prim_state.isqrt 1L);
+  Alcotest.(check int64) "isqrt 99" 9L (Calyx_sim.Prim_state.isqrt 99L);
+  Alcotest.(check int64) "isqrt 100" 10L (Calyx_sim.Prim_state.isqrt 100L);
+  for i = 0 to 2000 do
+    let v = Int64.of_int i in
+    let r = Calyx_sim.Prim_state.isqrt v in
+    let r2 = Int64.mul r r in
+    let r1 = Int64.mul (Int64.add r 1L) (Int64.add r 1L) in
+    if not (Int64.compare r2 v <= 0 && Int64.compare r1 v > 0) then
+      Alcotest.failf "isqrt %d wrong: %Ld" i r
+  done
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "interpreter",
+        [
+          Alcotest.test_case "seq writes" `Quick test_seq_writes;
+          Alcotest.test_case "par writes" `Quick test_par_writes;
+          Alcotest.test_case "counter loop" `Quick test_counter;
+          Alcotest.test_case "if true branch" `Quick test_if_true;
+          Alcotest.test_case "if false branch" `Quick test_if_false;
+          Alcotest.test_case "reduction tree" `Quick test_reduction_tree;
+          Alcotest.test_case "external memories" `Quick test_external_memories;
+          Alcotest.test_case "hierarchical invoke" `Quick test_hierarchy;
+          Alcotest.test_case "pipelined multiplier" `Quick test_mult_pipe;
+          Alcotest.test_case "empty control" `Quick
+            test_empty_control_times_out_without_done;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "conflicting drivers" `Quick test_conflict_detected;
+          Alcotest.test_case "combinational cycle" `Quick test_unstable_detected;
+          Alcotest.test_case "timeout" `Quick test_timeout;
+        ] );
+      ( "primitives",
+        [
+          Alcotest.test_case "integer sqrt" `Quick test_sqrt_prim;
+          Alcotest.test_case "extern behavioural model" `Quick
+            test_extern_behavioural_model;
+          Alcotest.test_case "2-D memory" `Quick test_mem_d2;
+          Alcotest.test_case "slice/pad/shift/xor" `Quick
+            test_width_adapters_and_ops;
+          Alcotest.test_case "pipelined divider" `Quick test_div_pipe;
+        ] );
+    ]

@@ -1,0 +1,224 @@
+(* Systolic array generator tests: functional correctness against an OCaml
+   matmul, latency inference, and compiled-vs-interpreted agreement. *)
+
+open Calyx
+
+let matmul a b =
+  let rows = Array.length a in
+  let depth = Array.length b in
+  let cols = Array.length b.(0) in
+  Array.init rows (fun r ->
+      Array.init cols (fun c ->
+          let acc = ref 0 in
+          for k = 0 to depth - 1 do
+            acc := !acc + (a.(r).(k) * b.(k).(c))
+          done;
+          !acc))
+
+let load_sim sim (d : Systolic.dims) a b =
+  for r = 0 to d.rows - 1 do
+    Calyx_sim.Sim.write_memory_ints sim (Systolic.left_memory r) ~width:d.width
+      (Array.to_list a.(r))
+  done;
+  for c = 0 to d.cols - 1 do
+    Calyx_sim.Sim.write_memory_ints sim (Systolic.top_memory c) ~width:d.width
+      (List.init d.depth (fun k -> b.(k).(c)))
+  done
+
+let read_result sim (d : Systolic.dims) =
+  let flat = Array.of_list (Calyx_sim.Sim.read_memory_ints sim Systolic.out_memory) in
+  Array.init d.rows (fun r -> Array.init d.cols (fun c -> flat.((r * d.cols) + c)))
+
+let test_matrices d =
+  let a =
+    Array.init d.Systolic.rows (fun r ->
+        Array.init d.Systolic.depth (fun k -> (r * 3) + k + 1))
+  in
+  let b =
+    Array.init d.Systolic.depth (fun k ->
+        Array.init d.Systolic.cols (fun c -> (k * 2) + c + 1))
+  in
+  (a, b)
+
+let check_result name d got expected =
+  Array.iteri
+    (fun r row ->
+      Array.iteri
+        (fun c v ->
+          Alcotest.(check int)
+            (Printf.sprintf "%s: C[%d][%d]" name r c)
+            expected.(r).(c) v)
+        row)
+    got;
+  ignore d
+
+let run_interp d =
+  let ctx = Systolic.generate d in
+  Well_formed.check ctx;
+  let a, b = test_matrices d in
+  let sim = Calyx_sim.Sim.create ctx in
+  load_sim sim d a b;
+  let cycles = Calyx_sim.Sim.run sim in
+  (read_result sim d, matmul a b, cycles)
+
+let run_compiled config d =
+  let ctx = Pipelines.compile ~config (Systolic.generate d) in
+  let a, b = test_matrices d in
+  let sim = Calyx_sim.Sim.create ctx in
+  load_sim sim d a b;
+  let cycles = Calyx_sim.Sim.run sim in
+  (read_result sim d, matmul a b, cycles)
+
+let square n = { Systolic.rows = n; cols = n; depth = n; width = 32 }
+
+let test_interp_2x2 () =
+  let got, expected, _ = run_interp (square 2) in
+  check_result "interp" (square 2) got expected
+
+let test_interp_rectangular () =
+  let d = { Systolic.rows = 2; cols = 3; depth = 4; width = 32 } in
+  let got, expected, _ = run_interp d in
+  check_result "rect" d got expected
+
+let test_compiled_insensitive () =
+  let d = square 3 in
+  let got, expected, _ = run_compiled Pipelines.insensitive_config d in
+  check_result "insensitive" d got expected
+
+let test_compiled_static () =
+  let d = square 3 in
+  let got, expected, _ = run_compiled Pipelines.default_config d in
+  check_result "static" d got expected
+
+let test_static_speedup () =
+  let d = square 3 in
+  let _, _, insensitive = run_compiled Pipelines.insensitive_config d in
+  let sensitive_config =
+    {
+      Pipelines.insensitive_config with
+      Pipelines.infer_latency = true;
+      Pipelines.static_timing = true;
+    }
+  in
+  let _, _, static = run_compiled sensitive_config d in
+  Alcotest.(check bool)
+    (Printf.sprintf "static %d < insensitive %d" static insensitive)
+    true (static < insensitive)
+
+let test_latency_fully_inferred () =
+  (* The generator emits no static attributes; inference recovers them for
+     every group and for the whole array (Section 6.1). *)
+  let ctx = Systolic.generate (square 2) in
+  let main = Ir.entry ctx in
+  List.iter
+    (fun g ->
+      Alcotest.(check bool)
+        (Printf.sprintf "no frontend annotation on %s" g.Ir.group_name)
+        true
+        (Attrs.static g.Ir.group_attrs = None))
+    main.Ir.groups;
+  let inferred = Pass.run Infer_latency.pass ctx in
+  let main = Ir.entry inferred in
+  List.iter
+    (fun g ->
+      Alcotest.(check bool)
+        (Printf.sprintf "inferred latency for %s" g.Ir.group_name)
+        true
+        (Attrs.static g.Ir.group_attrs <> None))
+    main.Ir.groups;
+  Alcotest.(check bool) "whole array latency inferred" true
+    (Attrs.static main.Ir.comp_attrs <> None);
+  let pe = Ir.find_component inferred "mac_pe" in
+  Alcotest.(check (option int)) "PE latency = mult + accumulate"
+    (Some (Prims.mult_latency + 1))
+    (Attrs.static pe.Ir.comp_attrs)
+
+let test_sizes_agree () =
+  (* Interpreter and fully optimized compilation agree on all small sizes. *)
+  List.iter
+    (fun n ->
+      let d = square n in
+      let got_i, expected, _ = run_interp d in
+      check_result "interp" d got_i expected;
+      let got_c, _, _ = run_compiled Pipelines.default_config d in
+      check_result "compiled" d got_c expected)
+    [ 2; 4 ]
+
+let test_sad_pe () =
+  (* PE-parametricity: the same generator with a SAD processing element
+     computes C[r][c] = sum_k |A[r][k] - B[k][c]|. *)
+  let d = square 3 in
+  let ctx =
+    Pipelines.compile (Systolic.generate ~pe:(Systolic.sad_pe ~width:32) d)
+  in
+  let a = [| [| 9; 2; 7 |]; [| 1; 8; 3 |]; [| 4; 4; 4 |] |] in
+  let b = [| [| 5; 5; 5 |]; [| 2; 9; 1 |]; [| 7; 0; 6 |] |] in
+  let sim = Calyx_sim.Sim.create ctx in
+  load_sim sim d a b;
+  ignore (Calyx_sim.Sim.run sim);
+  let got = read_result sim d in
+  let expected =
+    Array.init 3 (fun r ->
+        Array.init 3 (fun c ->
+            let acc = ref 0 in
+            for k = 0 to 2 do
+              acc := !acc + abs (a.(r).(k) - b.(k).(c))
+            done;
+            !acc))
+  in
+  check_result "sad" d got expected;
+  (* The SAD PE is single-cycle, so latency inference applies here too. *)
+  let inferred =
+    Pass.run Infer_latency.pass
+      (Systolic.generate ~pe:(Systolic.sad_pe ~width:32) d)
+  in
+  Alcotest.(check (option int)) "sad PE static" (Some 1)
+    (Attrs.static (Ir.find_component inferred "sad_pe").Ir.comp_attrs)
+
+let prop_random_matrices =
+  QCheck.Test.make ~name:"random matrices multiply correctly" ~count:10
+    QCheck.(
+      make
+        ~print:(fun (n, seed) -> Printf.sprintf "n=%d seed=%d" n seed)
+        Gen.(
+          let* n = int_range 2 3 in
+          let* seed = int_bound 10000 in
+          return (n, seed)))
+    (fun (n, seed) ->
+      let d = square n in
+      let st = Random.State.make [| seed |] in
+      let a =
+        Array.init n (fun _ -> Array.init n (fun _ -> Random.State.int st 256))
+      in
+      let b =
+        Array.init n (fun _ -> Array.init n (fun _ -> Random.State.int st 256))
+      in
+      let ctx = Pipelines.compile (Systolic.generate d) in
+      let sim = Calyx_sim.Sim.create ctx in
+      load_sim sim d a b;
+      ignore (Calyx_sim.Sim.run sim);
+      read_result sim d = matmul a b)
+
+let () =
+  Alcotest.run "systolic"
+    [
+      ( "functional",
+        [
+          Alcotest.test_case "2x2 interpreter" `Quick test_interp_2x2;
+          Alcotest.test_case "rectangular array" `Quick test_interp_rectangular;
+          Alcotest.test_case "3x3 compiled (insensitive)" `Quick
+            test_compiled_insensitive;
+          Alcotest.test_case "3x3 compiled (all optimizations)" `Quick
+            test_compiled_static;
+          Alcotest.test_case "sizes 2 and 4 agree" `Slow test_sizes_agree;
+          Alcotest.test_case "SAD processing element" `Quick test_sad_pe;
+          QCheck_alcotest.to_alcotest prop_random_matrices;
+        ] );
+      ( "latency",
+        [
+          Alcotest.test_case "static beats insensitive" `Quick
+            test_static_speedup;
+          Alcotest.test_case "latencies fully inferred" `Quick
+            test_latency_fully_inferred;
+        ] );
+    ]
