@@ -2,6 +2,7 @@
    (tool driver) from the paper's artifact.
 
    Subcommands:
+     check      report well-formedness and lint diagnostics (optionally JSON)
      compile    compile a Calyx source file and print Calyx or SystemVerilog
      interp     run a structured Calyx program with the reference interpreter
      sim        compile a Calyx program and run the flat simulator
@@ -29,15 +30,19 @@ let config_term =
   let no_register =
     Arg.(value & flag & info [ "no-register-sharing" ] ~doc:"Disable register sharing.")
   in
-  let make ns ni nr nreg =
+  let no_lint =
+    Arg.(value & flag & info [ "no-lint" ] ~doc:"Skip the semantic lints normally run before optimization.")
+  in
+  let make ns ni nr nreg nl =
     {
       Calyx.Pipelines.static_timing = not ns;
       infer_latency = not ni;
       resource_sharing = not nr;
       register_sharing = not nreg;
+      lint = not nl;
     }
   in
-  Term.(const make $ no_static $ no_infer $ no_resource $ no_register)
+  Term.(const make $ no_static $ no_infer $ no_resource $ no_register $ no_lint)
 
 let emit_term =
   Arg.(
@@ -94,6 +99,10 @@ let handle_errors f =
   | Calyx.Well_formed.Malformed errs ->
       List.iter (Printf.eprintf "error: %s\n") errs;
       1
+  | Calyx.Lint.Rejected ds ->
+      List.iter (fun d -> prerr_endline (Calyx.Diagnostics.render d)) ds;
+      Printf.eprintf "lint rejected the program (rerun with --no-lint to override)\n";
+      1
   | Calyx.Parser.Parse_error msg
   | Calyx.Lexer.Lex_error msg
   | Calyx.Ir.Ir_error msg ->
@@ -119,6 +128,33 @@ let output ctx = function
 (* ------------------------------------------------------------------ *)
 (* Subcommands                                                         *)
 (* ------------------------------------------------------------------ *)
+
+let check_cmd =
+  let run file json =
+    let failed = ref false in
+    let code =
+      handle_errors (fun () ->
+          let ctx = Calyx.Parser.parse_file file in
+          let wf = Calyx.Well_formed.diagnostics ctx in
+          let ds =
+            (* Lints assume a well-formed program; skip them when the
+               structural checks already failed. *)
+            if List.exists Calyx.Diagnostics.is_error wf then wf
+            else wf @ Calyx.Lint.diagnostics ctx
+          in
+          if json then print_string (Calyx.Diagnostics.to_json ds)
+          else print_string (Calyx.Diagnostics.render_all ds);
+          failed := List.exists Calyx.Diagnostics.is_error ds)
+    in
+    if code <> 0 then code else if !failed then 1 else 0
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit diagnostics as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Check a Calyx program: well-formedness plus semantic lints (data races, combinational cycles, driver conflicts, dead code, latency contracts). Exits non-zero if any error-severity diagnostic is reported.")
+    Term.(const run $ file_arg $ json)
 
 let compile_cmd =
   let run file config emit =
@@ -290,6 +326,6 @@ let () =
        (Cmd.group
           (Cmd.info "calyx" ~version:"1.0.0" ~doc)
           [
-            compile_cmd; interp_cmd; sim_cmd; dahlia_cmd; systolic_cmd;
-            polybench_cmd; stats_cmd;
+            check_cmd; compile_cmd; interp_cmd; sim_cmd; dahlia_cmd;
+            systolic_cmd; polybench_cmd; stats_cmd;
           ]))

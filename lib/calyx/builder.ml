@@ -54,8 +54,10 @@ let if_ ?(attrs = Attrs.empty) ?cond cond_port tbranch fbranch =
 let while_ ?(attrs = Attrs.empty) ?cond cond_port body =
   While { cond_port; cond_group = cond; body; while_attrs = attrs }
 
-let invoke ?(attrs = Attrs.empty) cell inputs =
-  Invoke { cell; invoke_inputs = inputs; invoke_attrs = attrs }
+let invoke ?(attrs = Attrs.empty) ?(outputs = []) cell inputs =
+  Invoke
+    { cell; invoke_inputs = inputs; invoke_outputs = outputs;
+      invoke_attrs = attrs }
 
 let io_port ?(attrs = Attrs.empty) dir name width =
   { pd_name = name; pd_width = width; pd_dir = dir; pd_attrs = attrs }

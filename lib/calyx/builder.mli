@@ -86,9 +86,17 @@ val if_ :
 
 val while_ : ?attrs:Attrs.t -> ?cond:string -> port_ref -> control -> control
 
-val invoke : ?attrs:Attrs.t -> string -> (string * atom) list -> control
+val invoke :
+  ?attrs:Attrs.t ->
+  ?outputs:(string * port_ref) list ->
+  string ->
+  (string * atom) list ->
+  control
 (** [invoke cell [(port, atom); ...]]: run a go/done cell to completion
-    with the given input drivers (lowered by [Compile_invoke]). *)
+    with the given input drivers (lowered by [Compile_invoke]). The
+    optional [outputs] bind cell output ports to destination ports, wired
+    for the duration of the invoke: [invoke ~outputs:[("out", dst)] ...]
+    drives [dst = cell.out]. *)
 
 (** {1 Components} *)
 

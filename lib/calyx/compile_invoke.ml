@@ -5,12 +5,17 @@ let lower_invokes (_ctx : context) comp =
   let control =
     map_control
       (function
-        | Invoke { cell = target; invoke_inputs; invoke_attrs } ->
+        | Invoke { cell = target; invoke_inputs; invoke_outputs; invoke_attrs }
+          ->
             let name = fresh_group_name !comp_ref ("invoke_" ^ target) in
             let assigns =
               List.map
                 (fun (p, a) -> Builder.assign (Builder.port target p) a)
                 invoke_inputs
+              @ List.map
+                  (fun (p, dst) ->
+                    Builder.assign dst (Builder.pa target p))
+                  invoke_outputs
               @ [
                   Builder.assign (Builder.port target "go") (Builder.bit true);
                   Builder.assign (Builder.hole name "done")

@@ -15,9 +15,10 @@ let remove_dead (_ctx : context) comp =
   iter_control
     (function
       | If { cond_port; _ } | While { cond_port; _ } -> mark cond_port
-      | Invoke { cell; invoke_inputs; _ } ->
+      | Invoke { cell; invoke_inputs; invoke_outputs; _ } ->
           Hashtbl.replace used cell ();
-          List.iter (fun (_, a) -> mark_atom a) invoke_inputs
+          List.iter (fun (_, a) -> mark_atom a) invoke_inputs;
+          List.iter (fun (_, dst) -> mark dst) invoke_outputs
       | Empty | Enable _ | Seq _ | Par _ -> ())
     comp.control;
   {

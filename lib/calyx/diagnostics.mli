@@ -1,0 +1,79 @@
+(** Structured compiler diagnostics.
+
+    Every problem the checker ({!Well_formed}) or the lint suite ({!Lint})
+    reports is a {!t}: a stable code (["CX0xx"]), a severity, a location
+    inside the program, and a human-readable message. Diagnostics render
+    either as one-line human text ([error CX021 \[main/group g\]: ...]) or
+    as JSON for machine consumption ([calyx_cli check --json]). *)
+
+type severity = Error | Warning | Info
+
+type location =
+  | Program  (** The whole program (e.g. a missing entrypoint). *)
+  | Component of string
+  | Cell of { comp : string; cell : string }
+  | Group of { comp : string; group : string }
+  | Assignment of { comp : string; group : string option; dst : string }
+      (** [group = None] means a continuous assignment. *)
+  | Control of { comp : string; path : string }
+      (** A control statement, addressed by a path such as
+          ["seq[1].par[0]"] (empty for the root). *)
+
+type t = {
+  code : string;  (** Stable machine code, e.g. ["CX007"]. *)
+  severity : severity;
+  loc : location;
+  message : string;
+}
+
+(** {1 Construction} *)
+
+val diag :
+  severity -> code:string -> loc:location ->
+  ('a, Format.formatter, unit, t) format4 -> 'a
+(** [diag sev ~code ~loc fmt ...] builds a diagnostic with a formatted
+    message. *)
+
+val error :
+  code:string -> loc:location -> ('a, Format.formatter, unit, t) format4 -> 'a
+
+val warning :
+  code:string -> loc:location -> ('a, Format.formatter, unit, t) format4 -> 'a
+
+(** {1 Inspection} *)
+
+val is_error : t -> bool
+val errors_of : t list -> t list
+val count : severity -> t list -> int
+
+val severity_string : severity -> string
+(** ["error"], ["warning"] or ["info"]. *)
+
+val compare : t -> t -> int
+(** Stable presentation order: component, then code, then message. *)
+
+(** {1 Rendering} *)
+
+val pp_location : Format.formatter -> location -> unit
+val pp : Format.formatter -> t -> unit
+(** One line: [<severity> <code> [<location>]: <message>]. *)
+
+val render : t -> string
+val render_all : t list -> string
+(** One diagnostic per line, in {!compare} order, with a trailing summary
+    line ([N error(s), M warning(s)]) when the list is non-empty. *)
+
+val to_json : t list -> string
+(** A JSON object
+    [{"diagnostics": [...], "errors": N, "warnings": N, "infos": N}]; each
+    diagnostic carries [code], [severity], [message] and a [location]
+    object with a [kind] discriminator. *)
+
+(** {1 The code registry} *)
+
+val code_descriptions : (string * string) list
+(** Every stable diagnostic code with a one-line description, in code
+    order — the source of truth for the README's code table. *)
+
+val describe : string -> string option
+(** Look up one code's description. *)

@@ -59,32 +59,39 @@ let write_en_source cell group =
       | _ -> None)
     group.assigns
 
+(* The latency the idiom analysis can derive for a group, ignoring any
+   existing "static" annotation. Shared with the latency-contract lint so a
+   user annotation can be checked against what the hardware will do. *)
+let derived_group_latency ctx comp group =
+  match done_source group with
+  | Some (Lit v) when Bitvec.is_true v -> Some 1
+  | Some (Port (Cell_port (c, "done"))) -> (
+      if is_register comp c then
+        if drives_write_en_high c group then Some 1
+        else begin
+          (* r.write_en = c'.done; c' invoked within the group. *)
+          match write_en_source c group with
+          | Some c' when drives_go c' group -> (
+              match cell_latency ctx comp c' with
+              | Some l -> Some (l + 1)
+              | None -> None)
+          | _ -> None
+        end
+      else
+        match cell_latency ctx comp c with
+        | Some l when drives_go c group -> Some l
+        | _ -> None)
+  | _ -> None
+
 let infer_group ctx comp group =
   match Attrs.static group.group_attrs with
   | Some _ -> (group, false)
   | None -> (
-      let annotate n =
-        ({ group with group_attrs = Attrs.with_static n group.group_attrs }, true)
-      in
-      match done_source group with
-      | Some (Lit v) when Bitvec.is_true v -> annotate 1
-      | Some (Port (Cell_port (c, "done"))) -> (
-          if is_register comp c then
-            if drives_write_en_high c group then annotate 1
-            else begin
-              (* r.write_en = c'.done; c' invoked within the group. *)
-              match write_en_source c group with
-              | Some c' when drives_go c' group -> (
-                  match cell_latency ctx comp c' with
-                  | Some l -> annotate (l + 1)
-                  | None -> (group, false))
-              | _ -> (group, false)
-            end
-          else
-            match cell_latency ctx comp c with
-            | Some l when drives_go c group -> annotate l
-            | _ -> (group, false))
-      | _ -> (group, false))
+      match derived_group_latency ctx comp group with
+      | Some n ->
+          ( { group with group_attrs = Attrs.with_static n group.group_attrs },
+            true )
+      | None -> (group, false))
 
 let infer_component ctx comp =
   let changed = ref false in

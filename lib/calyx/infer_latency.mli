@@ -22,3 +22,9 @@
     through the component hierarchy. *)
 
 val pass : Pass.t
+
+val derived_group_latency :
+  Ir.context -> Ir.component -> Ir.group -> int option
+(** The latency the group rules above derive, {e ignoring} any existing
+    ["static"] annotation — what the inferred hardware will actually take.
+    The latency-contract lint compares this against the annotation. *)

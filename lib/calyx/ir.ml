@@ -57,6 +57,8 @@ type control =
   | Invoke of {
       cell : string;
       invoke_inputs : (string * atom) list;
+      invoke_outputs : (string * port_ref) list;
+          (* Output bindings: cell output port -> destination port. *)
       invoke_attrs : Attrs.t;
     }
 
@@ -272,6 +274,30 @@ let rec iter_control f ctrl =
       iter_control f r.tbranch;
       iter_control f r.fbranch
   | While r -> iter_control f r.body
+
+(* Like [iter_control], but hands each statement its path from the root
+   (e.g. "seq[1].par[0]"; the root's path is ""), for diagnostics that
+   address a control statement. *)
+let iter_control_path f ctrl =
+  let join p q = if String.equal p "" then q else p ^ "." ^ q in
+  let rec go path c =
+    f path c;
+    match c with
+    | Empty | Enable _ | Invoke _ -> ()
+    | Seq (cs, _) ->
+        List.iteri
+          (fun i c -> go (join path (Printf.sprintf "seq[%d]" i)) c)
+          cs
+    | Par (cs, _) ->
+        List.iteri
+          (fun i c -> go (join path (Printf.sprintf "par[%d]" i)) c)
+          cs
+    | If r ->
+        go (join path "if.then") r.tbranch;
+        go (join path "if.else") r.fbranch
+    | While r -> go (join path "while.body") r.body
+  in
+  go "" ctrl
 
 let enabled_groups ctrl =
   let seen = Hashtbl.create 16 in

@@ -88,6 +88,9 @@ type control =
       cell : string;
       invoke_inputs : (string * atom) list;
           (** Input port of the invoked cell -> driven atom. *)
+      invoke_outputs : (string * port_ref) list;
+          (** Output port of the invoked cell -> destination port, wired
+              for the duration of the invoke. *)
       invoke_attrs : Attrs.t;
     }
 
@@ -184,6 +187,11 @@ val map_control : (control -> control) -> control -> control
 
 val iter_control : (control -> unit) -> control -> unit
 (** Pre-order visit of every control node. *)
+
+val iter_control_path : (string -> control -> unit) -> control -> unit
+(** Like {!iter_control}, but hands each statement its path from the root
+    (e.g. ["seq[1].par[0]"]; the root's path is [""]), for diagnostics
+    that address a control statement. *)
 
 val enabled_groups : control -> string list
 (** Names of groups enabled anywhere in a control program, including

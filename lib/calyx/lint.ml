@@ -1,0 +1,598 @@
+open Ir
+module D = Diagnostics
+module SS = String_set
+
+exception Rejected of D.t list
+
+let port_key p = Format.asprintf "%a" pp_port_ref p
+
+(* ------------------------------------------------------------------ *)
+(* CX020: par data races                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Two groups enabled under distinct arms of the same [par] may be active
+   in the same cycle. If both drive a cell, or one drives a cell the other
+   reads, the outcome depends on the schedule — undefined behaviour. *)
+let par_races comp =
+  let diags = ref [] in
+  let memo tbl f g =
+    match Hashtbl.find_opt tbl g with
+    | Some s -> s
+    | None ->
+        let s =
+          match find_group_opt comp g with Some gr -> f gr | None -> SS.empty
+        in
+        Hashtbl.replace tbl g s;
+        s
+  in
+  let reads_tbl = Hashtbl.create 16 and writes_tbl = Hashtbl.create 16 in
+  let reads g = memo reads_tbl Read_write_set.cell_reads g in
+  let writes g = memo writes_tbl Read_write_set.cell_writes g in
+  (* Stateful cells (registers, memories, pipelined units, subcomponents)
+     expose last cycle's value on their outputs, so a concurrent
+     read+write is the well-defined shift idiom systolic arrays rely on;
+     only write/write is a race there. Combinational outputs reflect this
+     cycle's inputs, so cross-arm read+write is schedule-dependent. *)
+  let is_stateful c =
+    match find_cell_opt comp c with
+    | Some { cell_proto = Prim (name, _); _ } -> (
+        match Prims.find name with
+        | Some i -> not i.combinational
+        | None -> true)
+    | Some { cell_proto = Comp _; _ } | None -> true
+  in
+  let reported = Hashtbl.create 16 in
+  let report ~path fmt =
+    Format.kasprintf
+      (fun message ->
+        if not (Hashtbl.mem reported message) then begin
+          Hashtbl.replace reported message ();
+          diags :=
+            {
+              D.code = "CX020";
+              severity = D.Error;
+              loc = D.Control { comp = comp.comp_name; path };
+              message;
+            }
+            :: !diags
+        end)
+      fmt
+  in
+  iter_control_path
+    (fun path ctrl ->
+      match ctrl with
+      | Par (children, _) ->
+          let sets = List.map Schedule_conflicts.subtree_groups children in
+          let pair ga gb =
+            if String.equal ga gb then begin
+              if not (SS.is_empty (writes ga)) then
+                report ~path
+                  "group %s is enabled in two parallel arms and writes cell \
+                   %s"
+                  ga
+                  (SS.min_elt (writes ga))
+            end
+            else begin
+              SS.iter
+                (fun cell ->
+                  report ~path
+                    "parallel arms race on cell %s: groups %s and %s both \
+                     write it"
+                    cell ga gb)
+                (SS.inter (writes ga) (writes gb));
+              let read_write gw gr =
+                SS.iter
+                  (fun cell ->
+                    if not (is_stateful cell) then
+                      report ~path
+                        "parallel arms race on cell %s: group %s drives it \
+                         while group %s reads its combinational output"
+                        cell gw gr)
+                  (SS.inter (writes gw) (reads gr))
+              in
+              read_write ga gb;
+              read_write gb ga
+            end
+          in
+          let rec cross = function
+            | [] -> ()
+            | s :: rest ->
+                List.iter
+                  (fun s' -> SS.iter (fun ga -> SS.iter (pair ga) s') s)
+                  rest;
+                cross rest
+          in
+          cross sets
+      | _ -> ())
+    comp.control;
+  List.rev !diags
+
+(* ------------------------------------------------------------------ *)
+(* CX021: combinational cycles                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The combinational input -> output dependencies of one cell's ports.
+   Registers and pipelined units break cycles (their outputs change only at
+   clock edges); memories have a combinational read path from the address
+   ports to [read_data]; user components are treated as opaque. *)
+let cell_comb_deps comp cell_name =
+  match find_cell_opt comp cell_name with
+  | None -> None
+  | Some c -> (
+      match c.cell_proto with
+      | Comp _ -> None
+      | Prim (name, params) -> (
+          match Prims.find name with
+          | None -> None
+          | Some info -> (
+              let ports = try info.make_ports params with _ -> [] in
+              let dir d =
+                List.filter_map
+                  (fun (p : Prims.prim_port) ->
+                    if p.pp_dir = d then Some p.pp_name else None)
+                  ports
+              in
+              if info.combinational then Some (dir Prims.In, dir Prims.Out)
+              else
+                match name with
+                | "std_mem_d1" | "std_mem_d2" ->
+                    Some
+                      ( List.filter
+                          (fun p ->
+                            String.length p >= 4
+                            && String.equal (String.sub p 0 4) "addr")
+                          (dir Prims.In),
+                        [ "read_data" ] )
+                | _ -> None)))
+
+(* Find combinational cycles in one evaluation scope (the assignments that
+   can be live in the same cycle: one group plus the continuous
+   assignments). Returns each cycle as a port list, deduplicated across
+   scopes via [seen]. *)
+let scope_cycles comp ~seen assigns =
+  let succ : (string, string list ref) Hashtbl.t = Hashtbl.create 64 in
+  let edge a b =
+    match Hashtbl.find_opt succ a with
+    | Some l -> if not (List.mem b !l) then l := b :: !l
+    | None -> Hashtbl.replace succ a (ref [ b ])
+  in
+  let cells = ref SS.empty in
+  let note_port p =
+    match p with Cell_port (c, _) -> cells := SS.add c !cells | _ -> ()
+  in
+  List.iter
+    (fun a ->
+      note_port a.dst;
+      List.iter
+        (function
+          | Port p ->
+              note_port p;
+              edge (port_key p) (port_key a.dst)
+          | Lit _ -> ())
+        (assignment_atoms a))
+    assigns;
+  SS.iter
+    (fun c ->
+      match cell_comb_deps comp c with
+      | Some (ins, outs) ->
+          List.iter
+            (fun i ->
+              List.iter
+                (fun o ->
+                  edge (port_key (Cell_port (c, i)))
+                    (port_key (Cell_port (c, o))))
+                outs)
+            ins
+      | None -> ())
+    !cells;
+  let state = Hashtbl.create 64 in
+  let cycles = ref [] in
+  let rec dfs path node =
+    match Hashtbl.find_opt state node with
+    | Some `Done -> ()
+    | Some `Active ->
+        (* [path] runs from the current node back to the root; the cycle is
+           the prefix up to (and including) the first occurrence of
+           [node]. *)
+        let rec take acc = function
+          | [] -> List.rev acc
+          | n :: rest ->
+              if String.equal n node then List.rev (n :: acc)
+              else take (n :: acc) rest
+        in
+        let cycle = take [] path in
+        let key = String.concat "\x00" (List.sort String.compare cycle) in
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.replace seen key ();
+          cycles := cycle :: !cycles
+        end
+    | None ->
+        Hashtbl.replace state node `Active;
+        (match Hashtbl.find_opt succ node with
+        | Some l -> List.iter (dfs (node :: path)) !l
+        | None -> ());
+        Hashtbl.replace state node `Done
+  in
+  Hashtbl.iter (fun node _ -> dfs [ node ] node) succ;
+  List.rev !cycles
+
+let comb_cycles comp =
+  let seen = Hashtbl.create 16 in
+  let diag loc cycle =
+    {
+      D.code = "CX021";
+      severity = D.Error;
+      loc;
+      message =
+        Printf.sprintf "combinational cycle: %s"
+          (String.concat " -> " (cycle @ [ List.hd cycle ]));
+    }
+  in
+  let continuous =
+    List.map
+      (fun c -> diag (D.Component comp.comp_name) c)
+      (scope_cycles comp ~seen comp.continuous)
+  in
+  let grouped =
+    List.concat_map
+      (fun g ->
+        List.map
+          (fun c ->
+            diag (D.Group { comp = comp.comp_name; group = g.group_name }) c)
+          (scope_cycles comp ~seen (g.assigns @ comp.continuous)))
+      comp.groups
+  in
+  continuous @ grouped
+
+(* ------------------------------------------------------------------ *)
+(* CX022: overlapping guarded drivers                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Mutual-exclusion analysis over guards. Guards are expanded through
+   generated 1-bit wires (whose value is exactly the disjunction of their
+   drivers' guards when every driver drives constant 1), normalized to
+   DNF, and two guards are disjoint when every pair of satisfiable
+   disjuncts contains complementary literals: [g] vs [!g], distinct
+   equality constants on one port, or complementary comparisons on the
+   same operands. Conservative: anything unprovable counts as
+   overlapping. *)
+
+let is_one_bit_wire comp c =
+  match find_cell_opt comp c with
+  | Some { cell_proto = Prim ("std_wire", [ 1 ]); _ } -> true
+  | _ -> false
+
+(* wire name -> disjunction of its drivers' guards, when exact. *)
+let wire_table comp =
+  let drivers = Hashtbl.create 16 in
+  List.iter
+    (fun a ->
+      match a.dst with
+      | Cell_port (w, "in") when is_one_bit_wire comp w ->
+          let prev =
+            match Hashtbl.find_opt drivers w with Some l -> l | None -> []
+          in
+          Hashtbl.replace drivers w (a :: prev)
+      | _ -> ())
+    (all_assignments comp);
+  let table = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun w assigns ->
+      let exact =
+        List.for_all
+          (fun a ->
+            match a.src with Lit v -> Bitvec.is_true v | _ -> false)
+          assigns
+      in
+      if exact then
+        let disjunction =
+          List.fold_left
+            (fun acc a ->
+              match acc with None -> Some a.guard | Some g -> Some (Or (g, a.guard)))
+            None assigns
+        in
+        match disjunction with
+        | Some g -> Hashtbl.replace table w g
+        | None -> ())
+    drivers;
+  table
+
+let rec expand_guard table depth g =
+  if depth = 0 then g
+  else
+    match g with
+    | True -> True
+    | Atom (Port (Cell_port (w, "out"))) as a -> (
+        match Hashtbl.find_opt table w with
+        | Some def -> expand_guard table (depth - 1) def
+        | None -> a)
+    | Atom _ | Cmp _ -> g
+    | And (a, b) ->
+        And (expand_guard table depth a, expand_guard table depth b)
+    | Or (a, b) -> Or (expand_guard table depth a, expand_guard table depth b)
+    | Not a -> Not (expand_guard table depth a)
+
+type lit = { pos : bool; base : guard }
+
+let max_disjuncts = 48
+
+(* DNF as a list of conjuncts (lit lists); None when the expansion blows
+   the size cap (then nothing is provable). *)
+let dnf guard =
+  let rec go pos g =
+    match g with
+    | True -> if pos then Some [ [] ] else Some []
+    | Atom _ | Cmp _ -> Some [ [ { pos; base = g } ] ]
+    | Not g -> go (not pos) g
+    | And (a, b) -> if pos then cross a b pos else union a b pos
+    | Or (a, b) -> if pos then union a b pos else cross a b pos
+  and union a b pos =
+    match (go pos a, go pos b) with
+    | Some da, Some db ->
+        let d = da @ db in
+        if List.length d > max_disjuncts then None else Some d
+    | _ -> None
+  and cross a b pos =
+    match (go pos a, go pos b) with
+    | Some da, Some db ->
+        let d =
+          List.concat_map (fun ca -> List.map (fun cb -> ca @ cb) db) da
+        in
+        if List.length d > max_disjuncts then None else Some d
+    | _ -> None
+  in
+  go true guard
+
+(* Normalize a comparison so a literal operand sits on the right. *)
+let flip_op = function
+  | Eq -> Eq
+  | Neq -> Neq
+  | Lt -> Gt
+  | Gt -> Lt
+  | Le -> Ge
+  | Ge -> Le
+
+let norm_cmp op a b =
+  match (a, b) with Lit _, Port _ -> (flip_op op, b, a) | _ -> (op, a, b)
+
+let complementary_ops o1 o2 =
+  match (o1, o2) with
+  | Eq, Neq | Neq, Eq | Lt, Ge | Ge, Lt | Gt, Le | Le, Gt -> true
+  | _ -> false
+
+let lits_complementary l1 l2 =
+  (l1.pos <> l2.pos && equal_guard l1.base l2.base)
+  ||
+  match (l1.base, l2.base) with
+  | Cmp (o1, a1, b1), Cmp (o2, a2, b2) when l1.pos && l2.pos -> (
+      let o1, a1, b1 = norm_cmp o1 a1 b1 in
+      let o2, a2, b2 = norm_cmp o2 a2 b2 in
+      equal_atom a1 a2
+      &&
+      (* Distinct equality constants on the same atom can't hold at once;
+         complementary operators on identical operands can't either. *)
+      match (o1, o2, b1, b2) with
+      | Eq, Eq, Lit v1, Lit v2 -> not (Bitvec.equal v1 v2)
+      | _ -> complementary_ops o1 o2 && equal_atom b1 b2)
+  | _ -> false
+
+(* A literal that is false on its own (e.g. a positive constant 0). *)
+let lit_false l =
+  match l.base with
+  | Atom (Lit v) -> if l.pos then not (Bitvec.is_true v) else Bitvec.is_true v
+  | _ -> false
+
+let conjunct_sat c =
+  (not (List.exists lit_false c))
+  && not
+       (List.exists
+          (fun l1 -> List.exists (fun l2 -> lits_complementary l1 l2) c)
+          c)
+
+let guards_disjoint g1 g2 =
+  match (dnf g1, dnf g2) with
+  | Some d1, Some d2 ->
+      let d1 = List.filter conjunct_sat d1
+      and d2 = List.filter conjunct_sat d2 in
+      List.for_all
+        (fun c1 ->
+          List.for_all
+            (fun c2 ->
+              List.exists
+                (fun l1 -> List.exists (lits_complementary l1) c2)
+                c1)
+            d2)
+        d1
+  | _ -> false
+
+let overlapping_drivers comp =
+  let table = wire_table comp in
+  let expand g = expand_guard table 4 (simplify_guard g) in
+  let diags = ref [] in
+  let scope ~loc ~in_scope assigns =
+    (* Drivers per destination; [in_scope] marks the assignments whose
+       conflicts this scope is responsible for reporting (group scopes skip
+       continuous-vs-continuous pairs, reported once per component). *)
+    let by_dst = Hashtbl.create 16 in
+    List.iter
+      (fun (a, own) ->
+        let k = port_key a.dst in
+        let prev =
+          match Hashtbl.find_opt by_dst k with Some l -> l | None -> []
+        in
+        Hashtbl.replace by_dst k ((a, own) :: prev))
+      (List.map (fun a -> (a, in_scope a)) assigns);
+    Hashtbl.iter
+      (fun dst drivers ->
+        let rec pairs = function
+          | [] -> ()
+          | (a1, own1) :: rest ->
+              List.iter
+                (fun (a2, own2) ->
+                  if
+                    (own1 || own2)
+                    (* Both-unconditional pairs are CX008 errors. *)
+                    && not (a1.guard = True && a2.guard = True)
+                    && not (guards_disjoint (expand a1.guard) (expand a2.guard))
+                  then
+                    diags :=
+                      D.warning ~code:"CX022" ~loc
+                        "port %s has multiple drivers whose guards are not \
+                         provably exclusive: [%a] vs [%a]"
+                        dst pp_guard a1.guard pp_guard a2.guard
+                      :: !diags)
+                rest;
+              pairs rest
+        in
+        pairs drivers)
+      by_dst
+  in
+  scope
+    ~loc:(D.Component comp.comp_name)
+    ~in_scope:(fun _ -> true)
+    comp.continuous;
+  List.iter
+    (fun g ->
+      let mine a = List.exists (fun a' -> a' == a) g.assigns in
+      scope
+        ~loc:(D.Group { comp = comp.comp_name; group = g.group_name })
+        ~in_scope:mine
+        (g.assigns @ comp.continuous))
+    comp.groups;
+  List.rev !diags
+
+(* ------------------------------------------------------------------ *)
+(* CX023 / CX024: dead groups and dead cells                           *)
+(* ------------------------------------------------------------------ *)
+
+let dead_code comp =
+  let diags = ref [] in
+  (* A group is live when the control program can reach it, or when some
+     assignment references its holes (intermediate forms generated by the
+     static-timing pass drive children's holes directly). *)
+  let live_groups = ref (SS.of_list (enabled_groups comp.control)) in
+  let scan assigns =
+    List.iter
+      (fun a ->
+        let note = function
+          | Port (Hole (g, _)) -> live_groups := SS.add g !live_groups
+          | _ -> ()
+        in
+        (match a.dst with
+        | Hole (g, _) -> live_groups := SS.add g !live_groups
+        | _ -> ());
+        List.iter note (assignment_atoms a))
+      assigns
+  in
+  (* Liveness flows through hole references (the static-timing pass makes
+     parent groups drive their children's holes), so iterate to a
+     fixpoint. *)
+  scan comp.continuous;
+  let rec grow () =
+    let before = SS.cardinal !live_groups in
+    List.iter
+      (fun g -> if SS.mem g.group_name !live_groups then scan g.assigns)
+      comp.groups;
+    if SS.cardinal !live_groups > before then grow ()
+  in
+  grow ();
+  List.iter
+    (fun g ->
+      if not (SS.mem g.group_name !live_groups) then
+        diags :=
+          D.warning ~code:"CX023"
+            ~loc:(D.Group { comp = comp.comp_name; group = g.group_name })
+            "group %s is never reachable from the control program"
+            g.group_name
+          :: !diags)
+    comp.groups;
+  (* Cells: mirror Dead_cell_removal's liveness notion at lint time. *)
+  let used = Hashtbl.create 32 in
+  let mark = function
+    | Cell_port (c, _) -> Hashtbl.replace used c ()
+    | Hole _ | This _ -> ()
+  in
+  let mark_atom = function Port p -> mark p | Lit _ -> () in
+  List.iter
+    (fun a ->
+      mark a.dst;
+      List.iter mark_atom (assignment_atoms a))
+    (all_assignments comp);
+  iter_control
+    (function
+      | If { cond_port; _ } | While { cond_port; _ } -> mark cond_port
+      | Invoke { cell; invoke_inputs; invoke_outputs; _ } ->
+          Hashtbl.replace used cell ();
+          List.iter (fun (_, a) -> mark_atom a) invoke_inputs;
+          List.iter (fun (_, dst) -> mark dst) invoke_outputs
+      | Empty | Enable _ | Seq _ | Par _ -> ())
+    comp.control;
+  List.iter
+    (fun c ->
+      if
+        (not (Hashtbl.mem used c.cell_name))
+        && not (Attrs.external_mem c.cell_attrs)
+      then
+        diags :=
+          D.warning ~code:"CX024"
+            ~loc:(D.Cell { comp = comp.comp_name; cell = c.cell_name })
+            "cell %s is never referenced by any assignment or control \
+             statement"
+            c.cell_name
+          :: !diags)
+    comp.cells;
+  List.rev !diags
+
+(* ------------------------------------------------------------------ *)
+(* CX025: latency contracts                                            *)
+(* ------------------------------------------------------------------ *)
+
+let latency_contracts ctx comp =
+  let diags = ref [] in
+  List.iter
+    (fun g ->
+      match
+        (Attrs.static g.group_attrs, Infer_latency.derived_group_latency ctx comp g)
+      with
+      | Some annotated, Some derived when annotated <> derived ->
+          diags :=
+            D.error ~code:"CX025"
+              ~loc:(D.Group { comp = comp.comp_name; group = g.group_name })
+              "group %s is annotated \"static\"=%d but its derived latency \
+               is %d cycle(s); latency-sensitive compilation would \
+               mis-schedule it"
+              g.group_name annotated derived
+            :: !diags
+      | _ -> ())
+    comp.groups;
+  (match (Attrs.static comp.comp_attrs, comp.control) with
+  | Some annotated, ctrl when ctrl <> Empty -> (
+      match Static_timing.control_latency comp ctrl with
+      | Some derived when derived <> annotated ->
+          diags :=
+            D.error ~code:"CX025" ~loc:(D.Component comp.comp_name)
+              "component %s is annotated \"static\"=%d but its control \
+               program takes %d cycle(s)"
+              comp.comp_name annotated derived
+            :: !diags
+      | _ -> ())
+  | _ -> ());
+  List.rev !diags
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let component_diagnostics ctx comp =
+  par_races comp @ comb_cycles comp @ overlapping_drivers comp
+  @ dead_code comp @ latency_contracts ctx comp
+
+let diagnostics ctx =
+  List.concat_map
+    (fun c -> if c.is_extern <> None then [] else component_diagnostics ctx c)
+    ctx.components
+
+let check ctx =
+  match D.errors_of (diagnostics ctx) with
+  | [] -> ()
+  | errs -> raise (Rejected errs)

@@ -80,8 +80,9 @@ let analyze comp =
   let rec flow ctrl live_after =
     match ctrl with
     | Empty -> live_after
-    | Invoke { invoke_inputs; _ } ->
-        (* Reads its argument registers; writes only the invoked cell. *)
+    | Invoke { invoke_inputs; invoke_outputs; _ } ->
+        (* Reads its argument registers; writes the invoked cell and any
+           registers bound as output destinations. *)
         let read =
           List.fold_left
             (fun acc (_, a) ->
@@ -90,8 +91,18 @@ let analyze comp =
               | _ -> acc)
             SS.empty invoke_inputs
         in
+        let written =
+          List.fold_left
+            (fun acc (_, dst) ->
+              match dst with
+              | Cell_port (c, _) when SS.mem c regs -> SS.add c acc
+              | _ -> acc)
+            SS.empty invoke_outputs
+        in
+        (* Conservative: output writes are not treated as must-writes (no
+           kill), but they interfere with everything live across the call. *)
         let live_in = SS.union read live_after in
-        clique (SS.union live_in always_live);
+        clique (SS.union (SS.union live_in written) always_live);
         live_in
     | Enable (g, _) -> visit_group g live_after
     | Seq (cs, _) -> List.fold_right flow cs live_after

@@ -258,8 +258,30 @@ let rec parse_control st =
           end
     in
     let invoke_inputs = args [] in
+    (* Optional second binding list: output port -> destination port. *)
+    let invoke_outputs =
+      if accept st Lexer.LPAREN then begin
+        let rec outs acc =
+          match peek st with
+          | Lexer.RPAREN ->
+              ignore (next st);
+              List.rev acc
+          | _ ->
+              let p = expect_ident st in
+              expect st Lexer.EQ;
+              let dst = parse_port_ref st in
+              if accept st Lexer.COMMA then outs ((p, dst) :: acc)
+              else begin
+                expect st Lexer.RPAREN;
+                List.rev ((p, dst) :: acc)
+              end
+        in
+        outs []
+      end
+      else []
+    in
     ignore (accept st Lexer.SEMI);
-    Invoke { cell; invoke_inputs; invoke_attrs = attrs }
+    Invoke { cell; invoke_inputs; invoke_outputs; invoke_attrs = attrs }
   end
   else if accept_keyword st "while" then begin
     let attrs = attrs_after "while" in

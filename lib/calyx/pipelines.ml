@@ -3,6 +3,7 @@ type config = {
   resource_sharing : bool;
   register_sharing : bool;
   static_timing : bool;
+  lint : bool;
 }
 
 let default_config =
@@ -11,6 +12,7 @@ let default_config =
     resource_sharing = true;
     register_sharing = true;
     static_timing = true;
+    lint = true;
   }
 
 let insensitive_config =
@@ -19,6 +21,7 @@ let insensitive_config =
     resource_sharing = false;
     register_sharing = false;
     static_timing = false;
+    lint = true;
   }
 
 let optimize config =
@@ -42,4 +45,5 @@ let passes config = optimize config @ lower config
 
 let compile ?(config = default_config) ctx =
   Well_formed.check ctx;
+  if config.lint then Lint.check ctx;
   Pass.run_all (passes config) ctx

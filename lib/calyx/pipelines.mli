@@ -11,13 +11,17 @@ type config = {
   resource_sharing : bool;  (** Section 5.1. *)
   register_sharing : bool;  (** Section 5.2. *)
   static_timing : bool;  (** Section 4.4, the Sensitive pass. *)
+  lint : bool;
+      (** Run {!Lint.check} before optimizing; error-severity lint
+          diagnostics abort the compile ([--no-lint] turns this off). *)
 }
 
 val default_config : config
 (** Everything on — the paper's "all optimizations" configuration. *)
 
 val insensitive_config : config
-(** Everything off: pure latency-insensitive compilation. *)
+(** Every optimization off: pure latency-insensitive compilation. Linting
+    stays on. *)
 
 val optimize : config -> Pass.t list
 (** Starts with {!Compile_invoke} (always on), then the enabled

@@ -52,13 +52,20 @@ let rec pp_control fmt = function
   | While { cond_port; cond_group; body; while_attrs } ->
       Format.fprintf fmt "@[<v 2>while%a %a%a {@,%a@]@,}" pp_attrs while_attrs
         pp_port_ref cond_port pp_with cond_group pp_control body
-  | Invoke { cell; invoke_inputs; invoke_attrs } ->
+  | Invoke { cell; invoke_inputs; invoke_outputs; invoke_attrs } ->
       let pp_arg fmt (p, a) = Format.fprintf fmt "%s = %a" p pp_atom a in
-      Format.fprintf fmt "invoke%a %s(%a);" pp_attrs invoke_attrs cell
-        (Format.pp_print_list
-           ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ")
-           pp_arg)
-        invoke_inputs
+      let pp_out fmt (p, dst) =
+        Format.fprintf fmt "%s = %a" p pp_port_ref dst
+      in
+      let comma fmt () = Format.fprintf fmt ", " in
+      Format.fprintf fmt "invoke%a %s(%a)" pp_attrs invoke_attrs cell
+        (Format.pp_print_list ~pp_sep:comma pp_arg)
+        invoke_inputs;
+      if invoke_outputs <> [] then
+        Format.fprintf fmt "(%a)"
+          (Format.pp_print_list ~pp_sep:comma pp_out)
+          invoke_outputs;
+      Format.pp_print_string fmt ";"
 
 and pp_children fmt cs =
   Format.pp_print_list pp_control fmt

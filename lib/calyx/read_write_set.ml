@@ -30,6 +30,27 @@ let may_writes comp group =
       | _ -> acc)
     SS.empty group.assigns
 
+(* Cell-granularity sets for the par data-race lint: unlike the
+   register-only sets above, these cover every cell (memories, pipelined
+   units, sub-components, combinational operators). *)
+
+let cell_reads group =
+  List.fold_left
+    (fun acc a ->
+      List.fold_left
+        (fun acc atom ->
+          match atom with
+          | Port (Cell_port (c, _)) -> SS.add c acc
+          | _ -> acc)
+        acc (assignment_atoms a))
+    SS.empty group.assigns
+
+let cell_writes group =
+  List.fold_left
+    (fun acc a ->
+      match a.dst with Cell_port (c, _) -> SS.add c acc | _ -> acc)
+    SS.empty group.assigns
+
 let must_writes comp group =
   let regs = registers comp in
   List.fold_left

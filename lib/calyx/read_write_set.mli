@@ -16,3 +16,14 @@ val may_writes : Ir.component -> Ir.group -> Ir.String_set.t
 val must_writes : Ir.component -> Ir.group -> Ir.String_set.t
 (** Registers whose [write_en] the group drives unconditionally with a
     non-zero constant. *)
+
+(** {1 Cell-granularity sets}
+
+    Used by the par data-race lint ({!Lint}): any cell — stateful or
+    combinational — touched by a group, not just registers. *)
+
+val cell_reads : Ir.group -> Ir.String_set.t
+(** Cells one of whose ports appears in a source or guard of the group. *)
+
+val cell_writes : Ir.group -> Ir.String_set.t
+(** Cells one of whose ports is driven by the group. *)

@@ -1,19 +1,42 @@
 open Ir
+module D = Diagnostics
 
 exception Malformed of string list
 
-let check_component ctx comp =
-  let problems = ref [] in
-  let problem fmt =
+(* Every check emits a coded, located diagnostic; the legacy string API
+   below renders them. Codes are stable (see Diagnostics.code_descriptions):
+     CX001 duplicates           CX002 bad primitive      CX003 bad component
+     CX004 unresolved reference CX005 direction          CX006 width
+     CX007 missing done         CX008 multiple drivers   CX009 unknown group
+     CX010 bad condition        CX011 bad invoke         CX012 no entrypoint *)
+
+let component_diagnostics ctx comp =
+  let acc = ref [] in
+  let report sev ~code ~loc fmt =
     Format.kasprintf
-      (fun s -> problems := Printf.sprintf "%s: %s" comp.comp_name s :: !problems)
+      (fun message ->
+        acc := { D.code; severity = sev; loc; message } :: !acc)
       fmt
   in
+  let error ~code ~loc fmt = report D.Error ~code ~loc fmt in
+  let comp_loc = D.Component comp.comp_name in
+  let group_loc g = D.Group { comp = comp.comp_name; group = g } in
+  let cell_loc c = D.Cell { comp = comp.comp_name; cell = c } in
+  let assign_loc group a =
+    D.Assignment
+      {
+        comp = comp.comp_name;
+        group;
+        dst = Format.asprintf "%a" pp_port_ref a.dst;
+      }
+  in
+  let control_loc path = D.Control { comp = comp.comp_name; path } in
   let check_duplicates what names =
     let tbl = Hashtbl.create 16 in
     List.iter
       (fun n ->
-        if Hashtbl.mem tbl n then problem "duplicate %s %s" what n
+        if Hashtbl.mem tbl n then
+          error ~code:"CX001" ~loc:comp_loc "duplicate %s %s" what n
         else Hashtbl.add tbl n ())
       names
   in
@@ -27,29 +50,35 @@ let check_component ctx comp =
       match c.cell_proto with
       | Prim (name, params) -> (
           match Prims.find name with
-          | None -> problem "cell %s: unknown primitive %s" c.cell_name name
+          | None ->
+              error ~code:"CX002" ~loc:(cell_loc c.cell_name)
+                "unknown primitive %s" name
           | Some info -> (
               try ignore (info.make_ports params)
-              with Invalid_argument msg -> problem "cell %s: %s" c.cell_name msg))
+              with Invalid_argument msg ->
+                error ~code:"CX002" ~loc:(cell_loc c.cell_name) "%s" msg))
       | Comp name -> (
           match find_component_opt ctx name with
-          | None -> problem "cell %s: unknown component %s" c.cell_name name
+          | None ->
+              error ~code:"CX003" ~loc:(cell_loc c.cell_name)
+                "unknown component %s" name
           | Some sub ->
               if String.equal sub.comp_name comp.comp_name then
-                problem "cell %s: recursive instantiation of %s" c.cell_name name))
+                error ~code:"CX003" ~loc:(cell_loc c.cell_name)
+                  "recursive instantiation of %s" name))
     comp.cells;
   (* Port reference resolution + direction checks for assignments. *)
   let group_exists g = find_group_opt comp g <> None in
-  let port_info p =
+  let port_info ~loc p =
     (* Returns (width, is_readable, is_writable) or None with a problem. *)
     match p with
     | Hole (g, h) ->
         if not (group_exists g) then begin
-          problem "reference to hole of unknown group %s" g;
+          error ~code:"CX004" ~loc "reference to hole of unknown group %s" g;
           None
         end
         else if not (List.mem h [ "go"; "done" ]) then begin
-          problem "unknown hole %s[%s]" g h;
+          error ~code:"CX004" ~loc "unknown hole %s[%s]" g h;
           None
         end
         else Some (1, true, true)
@@ -60,7 +89,7 @@ let check_component ctx comp =
             (signature_ports comp)
         with
         | None ->
-            problem "unknown component port %s" name;
+            error ~code:"CX004" ~loc "unknown component port %s" name;
             None
         | Some pd ->
             (* Inside the component, inputs are read and outputs written. *)
@@ -68,7 +97,7 @@ let check_component ctx comp =
     | Cell_port (c, p) -> (
         match find_cell_opt comp c with
         | None ->
-            problem "reference to unknown cell %s" c;
+            error ~code:"CX004" ~loc "reference to unknown cell %s" c;
             None
         | Some cell -> (
             match
@@ -79,44 +108,47 @@ let check_component ctx comp =
               with Ir_error _ | Prims.Unknown_primitive _ -> None
             with
             | None ->
-                problem "cell %s has no port %s" c p;
+                error ~code:"CX004" ~loc "cell %s has no port %s" c p;
                 None
             | Some (_, w, dir) ->
                 (* Outputs of cells are read; inputs are written. *)
                 Some (w, dir = Output, dir = Input)))
   in
-  let atom_info = function
-    | Port p -> port_info p
+  let atom_info ~loc = function
+    | Port p -> port_info ~loc p
     | Lit v -> Some (Bitvec.width v, true, false)
   in
-  let check_assignment where a =
-    (match port_info a.dst with
+  let check_assignment group a =
+    let loc = assign_loc group a in
+    (match port_info ~loc a.dst with
     | Some (_, _, false) ->
-        problem "%s: %a is not writable (not a cell input or component output)"
-          where pp_port_ref a.dst
+        error ~code:"CX005" ~loc
+          "%a is not writable (not a cell input or component output)"
+          pp_port_ref a.dst
     | _ -> ());
-    (match atom_info a.src with
+    (match atom_info ~loc a.src with
     | Some (_, false, _) ->
-        problem "%s: %a is not readable" where pp_atom a.src
+        error ~code:"CX005" ~loc "%a is not readable" pp_atom a.src
     | _ -> ());
-    (match (port_info a.dst, atom_info a.src) with
+    (match (port_info ~loc a.dst, atom_info ~loc a.src) with
     | Some (dw, _, _), Some (sw, _, _) when dw <> sw ->
-        problem "%s: width mismatch in %a = %a (%d vs %d)" where pp_port_ref
-          a.dst pp_atom a.src dw sw
+        error ~code:"CX006" ~loc "width mismatch in %a = %a (%d vs %d)"
+          pp_port_ref a.dst pp_atom a.src dw sw
     | _ -> ());
     List.iter
       (fun atom ->
-        match atom_info atom with
-        | Some (_, false, _) -> problem "%s: guard reads unreadable %a" where pp_atom atom
+        match atom_info ~loc atom with
+        | Some (_, false, _) ->
+            error ~code:"CX005" ~loc "guard reads unreadable %a" pp_atom atom
         | _ -> ())
       (guard_atoms a.guard);
     let rec check_cmp_widths = function
       | True | Atom _ -> ()
       | Cmp (_, x, y) -> (
-          match (atom_info x, atom_info y) with
+          match (atom_info ~loc x, atom_info ~loc y) with
           | Some (wx, _, _), Some (wy, _, _) when wx <> wy ->
-              problem "%s: comparison width mismatch %a vs %a" where pp_atom x
-                pp_atom y
+              error ~code:"CX006" ~loc "comparison width mismatch %a vs %a"
+                pp_atom x pp_atom y
           | _ -> ())
       | And (g1, g2) | Or (g1, g2) ->
           check_cmp_widths g1;
@@ -125,11 +157,10 @@ let check_component ctx comp =
     in
     check_cmp_widths a.guard
   in
-  List.iter (check_assignment "continuous assignment") comp.continuous;
+  List.iter (check_assignment None) comp.continuous;
   List.iter
     (fun g ->
-      let where = Printf.sprintf "group %s" g.group_name in
-      List.iter (check_assignment where) g.assigns;
+      List.iter (check_assignment (Some g.group_name)) g.assigns;
       (* Every group must signal completion (Section 3.3). *)
       let drives_done =
         List.exists
@@ -139,41 +170,50 @@ let check_component ctx comp =
             | _ -> false)
           g.assigns
       in
-      if not drives_done then problem "%s does not drive its done hole" where;
+      if not drives_done then
+        error ~code:"CX007" ~loc:(group_loc g.group_name)
+          "group %s does not drive its done hole" g.group_name;
       (* Unique unconditional drivers within a group. *)
       let seen = Hashtbl.create 8 in
       List.iter
         (fun a ->
           if a.guard = True then begin
             if Hashtbl.mem seen a.dst then
-              problem "%s: multiple unconditional drivers of %a" where
-                pp_port_ref a.dst
+              error ~code:"CX008"
+                ~loc:(assign_loc (Some g.group_name) a)
+                "multiple unconditional drivers of %a" pp_port_ref a.dst
             else Hashtbl.add seen a.dst ()
           end)
         g.assigns)
     comp.groups;
   (* Control references. *)
-  let check_cond cond_group cond_port =
+  let check_cond ~loc cond_group cond_port =
     (match cond_group with
     | Some g when not (group_exists g) ->
-        problem "control uses unknown condition group %s" g
+        error ~code:"CX010" ~loc "unknown condition group %s" g
     | _ -> ());
-    match port_info cond_port with
+    match port_info ~loc cond_port with
     | Some (w, _, _) when w <> 1 ->
-        problem "condition port %a must be 1 bit wide, got %d" pp_port_ref
-          cond_port w
+        error ~code:"CX010" ~loc "condition port %a must be 1 bit wide, got %d"
+          pp_port_ref cond_port w
+    | Some (_, false, _) ->
+        error ~code:"CX010" ~loc "condition port %a is not readable"
+          pp_port_ref cond_port
     | _ -> ()
   in
-  iter_control
-    (function
+  iter_control_path
+    (fun path ctrl ->
+      let loc = control_loc path in
+      match ctrl with
       | Enable (g, _) ->
           if not (group_exists g) then
-            problem "control enables unknown group %s" g
-      | If { cond_group; cond_port; _ } -> check_cond cond_group cond_port
-      | While { cond_group; cond_port; _ } -> check_cond cond_group cond_port
-      | Invoke { cell; invoke_inputs; _ } -> (
+            error ~code:"CX009" ~loc "control enables unknown group %s" g
+      | If { cond_group; cond_port; _ } -> check_cond ~loc cond_group cond_port
+      | While { cond_group; cond_port; _ } ->
+          check_cond ~loc cond_group cond_port
+      | Invoke { cell; invoke_inputs; invoke_outputs; _ } -> (
           match find_cell_opt comp cell with
-          | None -> problem "invoke of unknown cell %s" cell
+          | None -> error ~code:"CX011" ~loc "invoke of unknown cell %s" cell
           | Some c ->
               let ports =
                 try cell_ports ctx c.cell_proto
@@ -185,37 +225,77 @@ let check_component ctx comp =
                   ports
               in
               if not (has "go" Input && has "done" Output) then
-                problem "invoke target %s has no go/done interface" cell;
+                error ~code:"CX011" ~loc
+                  "invoke target %s has no go/done interface" cell;
               List.iter
                 (fun (p, a) ->
                   match
                     List.find_opt (fun (n, _, _) -> String.equal n p) ports
                   with
-                  | None -> problem "invoke of %s: no input port %s" cell p
+                  | None ->
+                      error ~code:"CX011" ~loc "invoke of %s: no input port %s"
+                        cell p
                   | Some (_, w, dir) -> (
                       if dir <> Input then
-                        problem "invoke of %s: %s is not an input" cell p;
-                      match atom_info a with
+                        error ~code:"CX011" ~loc
+                          "invoke of %s: %s is not an input" cell p;
+                      match atom_info ~loc a with
                       | Some (aw, _, _) when aw <> w ->
-                          problem
+                          error ~code:"CX011" ~loc
                             "invoke of %s: width mismatch on %s (%d vs %d)"
                             cell p aw w
                       | Some (_, false, _) ->
-                          problem "invoke of %s: %a is not readable" cell
-                            pp_atom a
+                          error ~code:"CX011" ~loc
+                            "invoke of %s: %a is not readable" cell pp_atom a
                       | _ -> ()))
-                invoke_inputs)
+                invoke_inputs;
+              (* Output bindings: the port must exist and be an output of
+                 the invoked cell, and the destination must be a writable
+                 port of matching width. *)
+              List.iter
+                (fun (p, dst) ->
+                  match
+                    List.find_opt (fun (n, _, _) -> String.equal n p) ports
+                  with
+                  | None ->
+                      error ~code:"CX011" ~loc
+                        "invoke of %s: no output port %s" cell p
+                  | Some (_, w, dir) -> (
+                      if dir <> Output then
+                        error ~code:"CX011" ~loc
+                          "invoke of %s: %s is not an output" cell p;
+                      match port_info ~loc dst with
+                      | Some (_, _, false) ->
+                          error ~code:"CX011" ~loc
+                            "invoke of %s: destination %a is not writable"
+                            cell pp_port_ref dst
+                      | Some (dw, _, _) when dw <> w ->
+                          error ~code:"CX011" ~loc
+                            "invoke of %s: width mismatch on output %s (%d \
+                             vs %d)"
+                            cell p w dw
+                      | _ -> ()))
+                invoke_outputs)
       | Empty | Seq _ | Par _ -> ())
     comp.control;
-  List.rev !problems
+  List.rev !acc
 
-let errors ctx =
+let diagnostics ctx =
   (match find_component_opt ctx ctx.entrypoint with
   | Some _ -> []
-  | None -> [ Printf.sprintf "entrypoint component %s not found" ctx.entrypoint ])
+  | None ->
+      [
+        D.error ~code:"CX012" ~loc:D.Program
+          "entrypoint component %s not found" ctx.entrypoint;
+      ])
   @ List.concat_map
-      (fun c -> if c.is_extern <> None then [] else check_component ctx c)
+      (fun c -> if c.is_extern <> None then [] else component_diagnostics ctx c)
       ctx.components
+
+let check_component ctx comp =
+  List.map D.render (component_diagnostics ctx comp)
+
+let errors ctx = List.map D.render (diagnostics ctx)
 
 let check ctx =
   match errors ctx with [] -> () | problems -> raise (Malformed problems)

@@ -3,16 +3,28 @@
     Checks the invariants the rest of the compiler relies on: resolvable
     names, direction-correct and width-correct assignments, groups that
     drive their own [done] hole, control programs that reference existing
-    groups, and no duplicate unconditional drivers within a group. *)
+    groups, valid invoke bindings (inputs {e and} outputs), readable 1-bit
+    conditions, and no duplicate unconditional drivers within a group.
+
+    Every check emits a coded {!Diagnostics.t} (codes [CX001]–[CX012], all
+    [Error] severity); the string-based API below renders them for
+    backwards compatibility. Semantic lints with [CX02x] codes live in
+    {!Lint}. *)
 
 exception Malformed of string list
-(** All collected problems, one message each. *)
+(** All collected problems, one rendered diagnostic each. *)
+
+val diagnostics : Ir.context -> Diagnostics.t list
+(** All structural diagnostics of a program (empty when well-formed). *)
+
+val component_diagnostics : Ir.context -> Ir.component -> Diagnostics.t list
+(** Diagnostics of one component. *)
 
 val check : Ir.context -> unit
 (** Validate a whole program; raises {!Malformed} when anything is wrong. *)
 
 val check_component : Ir.context -> Ir.component -> string list
-(** All problems found in one component (empty when well-formed). *)
+(** Rendered problems found in one component (empty when well-formed). *)
 
 val errors : Ir.context -> string list
-(** All problems in the program, without raising. *)
+(** Rendered problems in the program, without raising. *)

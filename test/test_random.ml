@@ -253,6 +253,27 @@ let prop_roundtrip =
       let ctx' = Parser.parse_string text in
       String.equal text (Printer.to_string ctx'))
 
+(* The generator builds race-free, fully-live programs, so the lint suite
+   must accept them without a single diagnostic... *)
+let prop_lint_clean =
+  QCheck.Test.make ~name:"random programs lint clean" ~count:60
+    QCheck.(make ~print:string_of_int Gen.(int_bound 1_000_000))
+    (fun seed -> Lint.diagnostics (gen_program seed) = [])
+
+(* ...and compilation must not introduce error-severity diagnostics either
+   (lowered programs may pick up warnings: group enables from different
+   control sites are not syntactically provably exclusive). *)
+let prop_lowered_error_free =
+  QCheck.Test.make ~name:"lowered random programs have no lint errors"
+    ~count:30
+    QCheck.(make ~print:string_of_int Gen.(int_bound 1_000_000))
+    (fun seed ->
+      List.for_all
+        (fun (_, config) ->
+          let lowered = Pipelines.compile ~config (gen_program seed) in
+          Diagnostics.errors_of (Lint.diagnostics lowered) = [])
+        configs)
+
 (* And the area model prices every random design without raising. *)
 let prop_area_total =
   QCheck.Test.make ~name:"random programs have sane area" ~count:30
@@ -276,6 +297,8 @@ let () =
           Alcotest.test_case "fixed seeds 0..200" `Quick test_fixed_seeds;
           QCheck_alcotest.to_alcotest prop_differential;
           QCheck_alcotest.to_alcotest prop_roundtrip;
+          QCheck_alcotest.to_alcotest prop_lint_clean;
+          QCheck_alcotest.to_alcotest prop_lowered_error_free;
           QCheck_alcotest.to_alcotest prop_area_total;
         ] );
     ]
