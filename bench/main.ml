@@ -19,6 +19,38 @@ let geomean = function
 let header title =
   Printf.printf "\n==================== %s ====================\n" title
 
+(* Machine-readable mirror of the printed tables: every experiment records
+   its per-row series and summary statistics (geomeans etc.), written as
+   BENCH_results.json at exit so CI can diff numbers across revisions. *)
+module Record = struct
+  let experiments : (string * string) list ref = ref []  (* reversed *)
+  let rows : string list ref = ref []  (* current experiment, reversed *)
+  let summaries : (string * string) list ref = ref []
+
+  let row fields = rows := Json.obj fields :: !rows
+  let summary name v = summaries := (name, Json.float v) :: !summaries
+
+  let experiment name f =
+    rows := [];
+    summaries := [];
+    f ();
+    experiments :=
+      ( name,
+        Json.obj
+          [
+            ("rows", Json.arr (List.rev !rows));
+            ("summary", Json.obj (List.rev !summaries));
+          ] )
+      :: !experiments
+
+  let write path =
+    let oc = open_out path in
+    output_string oc (Json.obj (List.rev !experiments));
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+end
+
 let sensitive_config =
   {
     Pipelines.insensitive_config with
@@ -81,13 +113,24 @@ let fig7a () =
         let ratio = float_of_int hls /. float_of_int sens in
         Printf.printf "%4d %12d %12d %10d %17.2fx %6s\n" n insens sens hls ratio
           (if ok1 && ok2 then "ok" else "FAIL");
+        Record.row
+          [
+            ("n", Json.int n);
+            ("insensitive_cycles", Json.int insens);
+            ("sensitive_cycles", Json.int sens);
+            ("hls_cycles", Json.int hls);
+            ("hls_over_sensitive", Json.float ratio);
+            ("correct", Json.bool (ok1 && ok2));
+          ];
         ratio)
       systolic_sizes
   in
   Printf.printf
     "systolic speedup over HLS: geomean %.2fx, max %.2fx  (paper: 4.6x, 10.78x)\n"
     (geomean ratios)
-    (List.fold_left max 0. ratios)
+    (List.fold_left max 0. ratios);
+  Record.summary "geomean_speedup" (geomean ratios);
+  Record.summary "max_speedup" (List.fold_left max 0. ratios)
 
 let fig7b () =
   header "Figure 7b: systolic array vs HLS LUT usage";
@@ -104,11 +147,20 @@ let fig7b () =
         let lh = (hls_matmul n).Hls_model.area.Calyx_synth.Area.luts in
         let ratio = float_of_int ls /. float_of_int lh in
         Printf.printf "%4d %12d %12d %10d %15.2fx\n" n li ls lh ratio;
+        Record.row
+          [
+            ("n", Json.int n);
+            ("insensitive_luts", Json.int li);
+            ("sensitive_luts", Json.int ls);
+            ("hls_luts", Json.int lh);
+            ("sensitive_over_hls", Json.float ratio);
+          ];
         ratio)
       systolic_sizes
   in
   Printf.printf "systolic LUT increase over HLS: geomean %.2fx  (paper: 1.11x)\n"
-    (geomean ratios)
+    (geomean ratios);
+  Record.summary "geomean_lut_ratio" (geomean ratios)
 
 let fig7_sensitive_effect () =
   header "Section 7.1: effect of Sensitive on systolic arrays";
@@ -120,10 +172,18 @@ let fig7_sensitive_effect () =
         let sens, _ = systolic_cycles n sensitive_config in
         let s = float_of_int insens /. float_of_int sens in
         Printf.printf "%4d %12d %12d %9.2fx\n" n insens sens s;
+        Record.row
+          [
+            ("n", Json.int n);
+            ("insensitive_cycles", Json.int insens);
+            ("sensitive_cycles", Json.int sens);
+            ("speedup", Json.float s);
+          ];
         s)
       systolic_sizes
   in
-  Printf.printf "geomean speedup %.2fx  (paper: 1.9x)\n" (geomean speedups)
+  Printf.printf "geomean speedup %.2fx  (paper: 1.9x)\n" (geomean speedups);
+  Record.summary "geomean_speedup" (geomean speedups)
 
 (* ------------------------------------------------------------------ *)
 (* Dahlia/PolyBench vs HLS (Figures 8a and 8b)                         *)
@@ -155,9 +215,9 @@ let fig8 ~cycles () =
       let c, hc = metric r h in
       let ratio = float_of_int c /. float_of_int hc in
       seq_ratios := ratio :: !seq_ratios;
-      let unrolled_cols, ok_u =
+      let unrolled_cols, ok_u, unrolled_fields =
         match k.Polybench.Kernels.unrolled with
-        | None -> (Printf.sprintf "%10s %10s %9s" "-" "-" "-", true)
+        | None -> (Printf.sprintf "%10s %10s %9s" "-" "-" "-", true, [])
         | Some _ ->
             let ru = Polybench.Harness.run k ~unrolled:true in
             let hu = kernel_hls k ~unrolled:true in
@@ -165,11 +225,25 @@ let fig8 ~cycles () =
             let ratio_u = float_of_int cu /. float_of_int hcu in
             unr_ratios := ratio_u :: !unr_ratios;
             ( Printf.sprintf "%10d %10d %8.2fx" cu hcu ratio_u,
-              ru.Polybench.Harness.correct )
+              ru.Polybench.Harness.correct,
+              [
+                ("calyx_unrolled", Json.int cu);
+                ("hls_unrolled", Json.int hcu);
+                ("ratio_unrolled", Json.float ratio_u);
+              ] )
       in
       Printf.printf "%-12s %10d %10d %8.2fx  %s %6s\n" k.Polybench.Kernels.name
         c hc ratio unrolled_cols
-        (if r.Polybench.Harness.correct && ok_u then "ok" else "FAIL"))
+        (if r.Polybench.Harness.correct && ok_u then "ok" else "FAIL");
+      Record.row
+        ([
+           ("kernel", Json.str k.Polybench.Kernels.name);
+           ("calyx", Json.int c);
+           ("hls", Json.int hc);
+           ("ratio", Json.float ratio);
+         ]
+        @ unrolled_fields
+        @ [ ("correct", Json.bool (r.Polybench.Harness.correct && ok_u)) ]))
     Polybench.Kernels.all;
   if cycles then
     Printf.printf
@@ -180,7 +254,9 @@ let fig8 ~cycles () =
     Printf.printf
       "geomean LUT increase: sequential %.2fx (paper: 1.2x), unrolled %.2fx \
        (paper: 2.2x)\n"
-      (geomean !seq_ratios) (geomean !unr_ratios)
+      (geomean !seq_ratios) (geomean !unr_ratios);
+  Record.summary "geomean_sequential" (geomean !seq_ratios);
+  Record.summary "geomean_unrolled" (geomean !unr_ratios)
 
 (* ------------------------------------------------------------------ *)
 (* Optimization ablations (Figure 9)                                   *)
@@ -234,7 +310,16 @@ let fig9a () =
           hs := (float_of_int heuristic /. float_of_int none) :: !hs;
           Printf.printf "%-12s %8d %+9.1f%% %+9.1f%% %+9.1f%% %+9.1f%%\n"
             k.Polybench.Kernels.name none (pct res) (pct regs) (pct both)
-            (pct heuristic)
+            (pct heuristic);
+          Record.row
+            [
+              ("kernel", Json.str k.Polybench.Kernels.name);
+              ("none_luts", Json.int none);
+              ("resource_pct", Json.float (pct res));
+              ("register_pct", Json.float (pct regs));
+              ("both_pct", Json.float (pct both));
+              ("heuristic_pct", Json.float (pct heuristic));
+            ]
       | _ -> assert false)
     Polybench.Kernels.all;
   Printf.printf
@@ -243,7 +328,10 @@ let fig9a () =
      (the Section 9 heuristic)\n"
     (100. *. (geomean !rs -. 1.))
     (100. *. (geomean !gs -. 1.))
-    (100. *. (geomean !hs -. 1.))
+    (100. *. (geomean !hs -. 1.));
+  Record.summary "mean_resource_pct" (100. *. (geomean !rs -. 1.));
+  Record.summary "mean_register_pct" (100. *. (geomean !gs -. 1.));
+  Record.summary "mean_heuristic_pct" (100. *. (geomean !hs -. 1.))
 
 let fig9b () =
   header "Figure 9b: register decrease from register sharing";
@@ -263,11 +351,19 @@ let fig9b () =
         Printf.printf "%-12s %10d %10d %+9.1f%%\n" k.Polybench.Kernels.name
           before after
           (100. *. (ratio -. 1.));
+        Record.row
+          [
+            ("kernel", Json.str k.Polybench.Kernels.name);
+            ("registers_before", Json.int before);
+            ("registers_after", Json.int after);
+            ("change_pct", Json.float (100. *. (ratio -. 1.)));
+          ];
         ratio)
       Polybench.Kernels.all
   in
   Printf.printf "mean register change: %+.1f%%  (paper: -12%%)\n"
-    (100. *. (geomean ratios -. 1.))
+    (100. *. (geomean ratios -. 1.));
+  Record.summary "mean_register_change_pct" (100. *. (geomean ratios -. 1.))
 
 let fig9c () =
   header "Figure 9c: cycle-count reduction from the Sensitive pass";
@@ -292,10 +388,22 @@ let fig9c () =
           (if insens.Polybench.Harness.correct && sens.Polybench.Harness.correct
            then "ok"
            else "FAIL");
+        Record.row
+          [
+            ("kernel", Json.str k.Polybench.Kernels.name);
+            ("insensitive_cycles", Json.int insens.Polybench.Harness.cycles);
+            ("sensitive_cycles", Json.int sens.Polybench.Harness.cycles);
+            ("speedup", Json.float s);
+            ( "correct",
+              Json.bool
+                (insens.Polybench.Harness.correct
+                && sens.Polybench.Harness.correct) );
+          ];
         s)
       Polybench.Kernels.all
   in
-  Printf.printf "geomean speedup %.2fx  (paper: 1.43x)\n" (geomean speedups)
+  Printf.printf "geomean speedup %.2fx  (paper: 1.43x)\n" (geomean speedups);
+  Record.summary "geomean_speedup" (geomean speedups)
 
 (* ------------------------------------------------------------------ *)
 (* Compilation statistics (Section 7.4)                                *)
@@ -334,7 +442,18 @@ let stats () =
     "8x8 systolic array: %d LOC of SystemVerilog in %.3f s compile + %.3f s \
      emit  (paper: 8906 LOC in 0.7 s)\n"
     (Calyx_verilog.Verilog.loc sv_sys)
-    dt_sys dt_sys_emit
+    dt_sys dt_sys_emit;
+  Record.summary "gemver_compile_s" dt;
+  Record.summary "gemver_emit_s" dt_emit;
+  Record.summary "gemver_sv_loc" (float_of_int (Calyx_verilog.Verilog.loc sv));
+  Record.summary "systolic8_cells" (float_of_int (List.length main.Ir.cells));
+  Record.summary "systolic8_groups" (float_of_int (List.length main.Ir.groups));
+  Record.summary "systolic8_control"
+    (float_of_int (Ir.control_size main.Ir.control));
+  Record.summary "systolic8_sv_loc"
+    (float_of_int (Calyx_verilog.Verilog.loc sv_sys));
+  Record.summary "systolic8_compile_s" dt_sys;
+  Record.summary "systolic8_emit_s" dt_sys_emit
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks (compiler-side work per experiment)       *)
@@ -395,7 +514,8 @@ let perf () =
       let ns =
         match Analyze.OLS.estimates r with Some (e :: _) -> e | _ -> nan
       in
-      Printf.printf "%-45s %14.1f ns/run (%10.3f ms)\n" name ns (ns /. 1e6))
+      Printf.printf "%-45s %14.1f ns/run (%10.3f ms)\n" name ns (ns /. 1e6);
+      Record.row [ ("name", Json.str name); ("ns_per_run", Json.float ns) ])
     (List.sort (fun (a, _) (b, _) -> compare a b) rows)
 
 (* ------------------------------------------------------------------ *)
@@ -418,17 +538,18 @@ let experiments =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  match args with
+  (match args with
   | [] ->
-      List.iter (fun (_, f) -> f ()) experiments;
+      List.iter (fun (name, f) -> Record.experiment name f) experiments;
       print_newline ()
   | names ->
       List.iter
         (fun name ->
           match List.assoc_opt name experiments with
-          | Some f -> f ()
+          | Some f -> Record.experiment name f
           | None ->
               Printf.eprintf "unknown experiment %s; available: %s\n" name
                 (String.concat ", " (List.map fst experiments));
               exit 1)
-        names
+        names);
+  Record.write "BENCH_results.json"

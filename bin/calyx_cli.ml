@@ -6,6 +6,7 @@
      compile    compile a Calyx source file and print Calyx or SystemVerilog
      interp     run a structured Calyx program with the reference interpreter
      sim        compile a Calyx program and run the flat simulator
+     profile    merged compile + runtime report (pass stats, group cycles)
      dahlia     compile a Dahlia program (optionally run it)
      systolic   generate (and optionally run) a systolic array
      polybench  run PolyBench kernels and report cycles/area
@@ -117,13 +118,51 @@ let handle_errors f =
   | Calyx_sim.Sim.Conflict msg | Calyx_sim.Sim.Unstable msg ->
       Printf.eprintf "simulation error: %s\n" msg;
       1
-  | Calyx_sim.Sim.Timeout n ->
-      Printf.eprintf "simulation error: no completion within %d cycles\n" n;
+  | Calyx_sim.Sim.Timeout { budget; snapshot } ->
+      Printf.eprintf "simulation error: no completion within %d cycles\n"
+        budget;
+      Printf.eprintf "state at timeout:\n%s\n" snapshot;
       1
 
 let output ctx = function
   | `Calyx -> print_string (Calyx.Printer.to_string ctx)
   | `Verilog -> print_string (Calyx_verilog.Verilog.emit ctx)
+
+(* Attach the requested observers (VCD trace and/or profiler) to a built
+   simulator, then run [f]. The VCD file is finished and closed even if the
+   run raises (e.g. Timeout), so partial traces stay loadable. *)
+let with_observers sim ~trace ~profile f =
+  let prof = if profile then Some (Calyx_obs.Profile.create sim) else None in
+  let finish_vcd, vcd =
+    match trace with
+    | None -> ((fun () -> ()), None)
+    | Some path ->
+        let oc = open_out path in
+        let v = Calyx_obs.Vcd.create ~out:(output_string oc) sim in
+        ( (fun () ->
+            Calyx_obs.Vcd.finish v;
+            close_out oc),
+          Some v )
+  in
+  let sink =
+    match (prof, vcd) with
+    | None, None -> None
+    | Some p, None -> Some (Calyx_obs.Profile.sink p)
+    | None, Some v -> Some (Calyx_obs.Vcd.sink v)
+    | Some p, Some v ->
+        Some
+          (fun ev ->
+            Calyx_obs.Vcd.sink v ev;
+            Calyx_obs.Profile.sink p ev)
+  in
+  Calyx_sim.Sim.set_sink sim sink;
+  Fun.protect ~finally:finish_vcd (fun () -> f prof)
+
+let trace_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE" ~doc:"Write a VCD waveform trace to $(docv).")
 
 (* ------------------------------------------------------------------ *)
 (* Subcommands                                                         *)
@@ -157,15 +196,33 @@ let check_cmd =
     Term.(const run $ file_arg $ json)
 
 let compile_cmd =
-  let run file config emit =
+  let run file config emit pass_stats json =
     handle_errors (fun () ->
         let ctx = Calyx.Parser.parse_file file in
-        let lowered = Calyx.Pipelines.compile ~config ctx in
-        output lowered emit)
+        if pass_stats then begin
+          let lowered, stats = Calyx_obs.Pass_stats.compile ~config ctx in
+          (* Stats on stderr so stdout stays the compiled program. *)
+          prerr_string
+            (if json then Calyx_obs.Pass_stats.to_json stats ^ "\n"
+             else Calyx_obs.Pass_stats.render stats);
+          output lowered emit
+        end
+        else output (Calyx.Pipelines.compile ~config ctx) emit)
+  in
+  let pass_stats =
+    Arg.(
+      value & flag
+      & info [ "pass-stats" ]
+          ~doc:"Report per-pass wall-clock time and IR size deltas on stderr.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"With --pass-stats, emit the report as JSON.")
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile a Calyx program to lowered Calyx or SystemVerilog.")
-    Term.(const run $ file_arg $ config_term $ emit_term)
+    Term.(const run $ file_arg $ config_term $ emit_term $ pass_stats $ json)
 
 let interp_cmd =
   let run file mems =
@@ -183,19 +240,32 @@ let interp_cmd =
     Term.(const run $ file_arg $ mems_term)
 
 let sim_cmd =
-  let run file config mems =
+  let run file config mems trace profile =
     handle_errors (fun () ->
         let ctx = Calyx.Parser.parse_file file in
         let lowered = Calyx.Pipelines.compile ~config ctx in
         let sim = Calyx_sim.Sim.create lowered in
         load_mems sim mems;
-        let cycles = Calyx_sim.Sim.run sim in
-        Printf.printf "cycles: %d\n" cycles;
-        dump_externals sim)
+        with_observers sim ~trace ~profile (fun prof ->
+            let cycles = Calyx_sim.Sim.run sim in
+            Printf.printf "cycles: %d\n" cycles;
+            dump_externals sim;
+            (* The lowered program has no groups left, so this reports
+               totals, fixpoint behaviour, and cell utilization; use the
+               [profile] subcommand for group-level attribution. *)
+            Option.iter
+              (fun p -> print_string (Calyx_obs.Profile.render p))
+              prof))
+  in
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:"Print cycle counts, fixpoint statistics, and cell utilization after the run.")
   in
   Cmd.v
     (Cmd.info "sim" ~doc:"Compile a Calyx program and run the cycle-accurate flat simulator.")
-    Term.(const run $ file_arg $ config_term $ mems_term)
+    Term.(const run $ file_arg $ config_term $ mems_term $ trace_term $ profile)
 
 let dahlia_cmd =
   let run file config emit execute mems =
@@ -283,6 +353,84 @@ let polybench_cmd =
     (Cmd.info "polybench" ~doc:"Run PolyBench kernels through the Dahlia-to-Calyx flow.")
     Term.(const run $ kernel $ unrolled $ config_term)
 
+let profile_cmd =
+  let run file config mems trace json strict =
+    let failed = ref false in
+    let code =
+      handle_errors (fun () ->
+          let ctx =
+            if
+              Filename.check_suffix file ".dahlia"
+              || Filename.check_suffix file ".fuse"
+            then begin
+              let ic = open_in file in
+              let src = really_input_string ic (in_channel_length ic) in
+              close_in ic;
+              Dahlia.To_calyx.compile (Dahlia.Parser.parse_string src)
+            end
+            else Calyx.Parser.parse_file file
+          in
+          Calyx.Well_formed.check ctx;
+          (* Compile once for the pass-pipeline report... *)
+          let _lowered, stats = Calyx_obs.Pass_stats.compile ~config ctx in
+          (* ...and interpret the structured program for group-level
+             profiling (lowering erases groups). Invoke is the one control
+             construct the interpreter refuses, so compile it away. *)
+          let runnable = Calyx.Pass.run Calyx.Compile_invoke.pass ctx in
+          let sim = Calyx_sim.Sim.create runnable in
+          load_mems sim mems;
+          with_observers sim ~trace ~profile:true (fun prof ->
+              let cycles = Calyx_sim.Sim.run sim in
+              let prof = Option.get prof in
+              let mism = Calyx_obs.Profile.mismatches runnable prof in
+              if json then
+                print_endline
+                  (Calyx.Json.obj
+                     [
+                       ("file", Calyx.Json.str file);
+                       ("cycles", Calyx.Json.int cycles);
+                       ("pass_stats", Calyx_obs.Pass_stats.to_json stats);
+                       ( "profile",
+                         Calyx_obs.Profile.to_json ~ctx:runnable prof );
+                     ])
+              else begin
+                Printf.printf "== pass pipeline ==\n%s\n"
+                  (Calyx_obs.Pass_stats.render stats);
+                Printf.printf "== runtime profile ==\n%s"
+                  (Calyx_obs.Profile.render ~ctx:runnable prof)
+              end;
+              List.iter
+                (fun (r : Calyx_obs.Profile.latency_row) ->
+                  let s = r.lr_stat in
+                  Printf.eprintf
+                    "latency mismatch: group %s%s ran %d cycles over %d \
+                     activation(s), expected %s per activation\n"
+                    (if s.gs_instance = "" then "" else s.gs_instance ^ ".")
+                    s.gs_group s.gs_active_cycles s.gs_activations
+                    (match r.lr_expected with
+                    | Some e -> string_of_int e
+                    | None -> "?"))
+                mism;
+              if strict && mism <> [] then failed := true))
+    in
+    if code <> 0 then code else if !failed then 1 else 0
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the merged report as a single JSON object.")
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:"Exit non-zero if any group's measured cycles disagree with its derived latency.")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Compile a Calyx (or Dahlia) program and print a merged report: per-pass compile statistics plus a runtime profile from interpreting the structured program (per-group active cycles and activations attributed against derived latencies, fixpoint statistics, cell utilization).")
+    Term.(const run $ file_arg $ config_term $ mems_term $ trace_term $ json $ strict)
+
 let stats_cmd =
   let run file config =
     handle_errors (fun () ->
@@ -326,6 +474,6 @@ let () =
        (Cmd.group
           (Cmd.info "calyx" ~version:"1.0.0" ~doc)
           [
-            check_cmd; compile_cmd; interp_cmd; sim_cmd; dahlia_cmd;
-            systolic_cmd; polybench_cmd; stats_cmd;
+            check_cmd; compile_cmd; interp_cmd; sim_cmd; profile_cmd;
+            dahlia_cmd; systolic_cmd; polybench_cmd; stats_cmd;
           ]))

@@ -80,30 +80,11 @@ let render_all ds =
       in
       String.concat "\n" (lines @ [ summary ]) ^ "\n"
 
-(* Hand-rolled JSON emission: the repo deliberately has no JSON dependency. *)
+(* JSON emission via the shared combinators (the repo deliberately has no
+   JSON dependency). *)
 
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
-let json_str s = "\"" ^ json_escape s ^ "\""
-
-let json_obj fields =
-  "{"
-  ^ String.concat "," (List.map (fun (k, v) -> json_str k ^ ":" ^ v) fields)
-  ^ "}"
+let json_str = Json.str
+let json_obj = Json.obj
 
 let location_json = function
   | Program -> json_obj [ ("kind", json_str "program") ]
@@ -151,10 +132,10 @@ let to_json ds =
   in
   json_obj
     [
-      ("diagnostics", "[" ^ String.concat "," (List.map one sorted) ^ "]");
-      ("errors", string_of_int (count Error ds));
-      ("warnings", string_of_int (count Warning ds));
-      ("infos", string_of_int (count Info ds));
+      ("diagnostics", Json.arr (List.map one sorted));
+      ("errors", Json.int (count Error ds));
+      ("warnings", Json.int (count Warning ds));
+      ("infos", Json.int (count Info ds));
     ]
 
 let code_descriptions =

@@ -1,0 +1,42 @@
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let str s = "\"" ^ escape s ^ "\""
+let int = string_of_int
+let bool b = if b then "true" else "false"
+let null = "null"
+
+let float f =
+  match Float.classify_float f with
+  | FP_nan | FP_infinite -> null
+  | _ ->
+      (* %h-style shortest form would not be JSON; %.17g always
+         round-trips but is noisy, so try shorter forms first. *)
+      let exact p = Printf.sprintf "%.*g" p f in
+      let rec shortest p =
+        if p >= 17 then exact 17
+        else
+          let s = exact p in
+          if float_of_string s = f then s else shortest (p + 1)
+      in
+      shortest 6
+
+let obj fields =
+  "{"
+  ^ String.concat "," (List.map (fun (k, v) -> str k ^ ":" ^ v) fields)
+  ^ "}"
+
+let arr items = "[" ^ String.concat "," items ^ "]"

@@ -1,0 +1,27 @@
+(** Minimal JSON emission helpers.
+
+    The repository deliberately carries no JSON dependency; every machine
+    output ({!Diagnostics.to_json}, the pass-statistics and profile reports
+    of [calyx_obs], the benchmark results file) is assembled from these
+    combinators. Values are pre-serialized fragments ([string]s containing
+    valid JSON), composed bottom-up. *)
+
+val escape : string -> string
+(** Backslash-escape a string body (no surrounding quotes). *)
+
+val str : string -> string
+(** A JSON string literal, quoted and escaped. *)
+
+val int : int -> string
+val bool : bool -> string
+val null : string
+
+val float : float -> string
+(** Shortest round-trippable decimal; non-finite values emit [null]
+    (JSON has no representation for them). *)
+
+val obj : (string * string) list -> string
+(** An object from (key, serialized value) pairs, in the given order. *)
+
+val arr : string list -> string
+(** An array of serialized values. *)

@@ -6,20 +6,72 @@ type t = {
 
 let make ~name ~description transform = { name; description; transform }
 
-let run ?(validate = true) pass ctx =
-  let ctx' = pass.transform ctx in
-  if validate then begin
-    match Well_formed.errors ctx' with
-    | [] -> ()
-    | errors ->
-        raise
-          (Well_formed.Malformed
-             (List.map (fun e -> Printf.sprintf "[after %s] %s" pass.name e) errors))
-  end;
-  ctx'
+(* ------------------------------------------------------------------ *)
+(* Instrumentation                                                     *)
+(* ------------------------------------------------------------------ *)
 
-let run_all ?validate passes ctx =
-  List.fold_left (fun ctx pass -> run ?validate pass ctx) ctx passes
+type counts = {
+  components : int;
+  cells : int;
+  groups : int;
+  assignments : int;
+  control_nodes : int;
+}
+
+let measure (ctx : Ir.context) =
+  List.fold_left
+    (fun acc (c : Ir.component) ->
+      {
+        components = acc.components + 1;
+        cells = acc.cells + List.length c.Ir.cells;
+        groups = acc.groups + List.length c.Ir.groups;
+        assignments =
+          acc.assignments + List.length (Ir.all_assignments c);
+        control_nodes = acc.control_nodes + Ir.control_size c.Ir.control;
+      })
+    { components = 0; cells = 0; groups = 0; assignments = 0; control_nodes = 0 }
+    ctx.Ir.components
+
+type observation = {
+  obs_pass : string;
+  obs_description : string;
+  obs_seconds : float;
+  obs_before : counts;
+  obs_after : counts;
+}
+
+let validate_after pass ctx' =
+  match Well_formed.errors ctx' with
+  | [] -> ()
+  | errors ->
+      raise
+        (Well_formed.Malformed
+           (List.map (fun e -> Printf.sprintf "[after %s] %s" pass.name e) errors))
+
+let run ?(validate = true) ?observe pass ctx =
+  match observe with
+  | None ->
+      let ctx' = pass.transform ctx in
+      if validate then validate_after pass ctx';
+      ctx'
+  | Some notify ->
+      let before = measure ctx in
+      let t0 = Unix.gettimeofday () in
+      let ctx' = pass.transform ctx in
+      let seconds = Unix.gettimeofday () -. t0 in
+      if validate then validate_after pass ctx';
+      notify
+        {
+          obs_pass = pass.name;
+          obs_description = pass.description;
+          obs_seconds = seconds;
+          obs_before = before;
+          obs_after = measure ctx';
+        };
+      ctx'
+
+let run_all ?validate ?observe passes ctx =
+  List.fold_left (fun ctx pass -> run ?validate ?observe pass ctx) ctx passes
 
 let per_component f (ctx : Ir.context) =
   {

@@ -2,7 +2,9 @@
 
     Each compiler pass is a value of type {!t}. {!run} optionally re-checks
     well-formedness after the transformation (on by default), which turns
-    pass bugs into early, attributable failures. *)
+    pass bugs into early, attributable failures; it also optionally reports
+    an {!observation} per pass (wall-clock time and IR size before/after),
+    the raw material of [calyx compile --pass-stats]. *)
 
 type t = {
   name : string;
@@ -12,12 +14,44 @@ type t = {
 
 val make : name:string -> description:string -> (Ir.context -> Ir.context) -> t
 
-val run : ?validate:bool -> t -> Ir.context -> Ir.context
+(** {1 Instrumentation} *)
+
+type counts = {
+  components : int;
+  cells : int;
+  groups : int;
+  assignments : int;  (** Continuous plus grouped, over all components. *)
+  control_nodes : int;  (** {!Ir.control_size}, summed. *)
+}
+(** The IR-size metrics recorded around every observed pass. *)
+
+val measure : Ir.context -> counts
+
+type observation = {
+  obs_pass : string;
+  obs_description : string;
+  obs_seconds : float;
+      (** Wall-clock seconds of the transformation itself (validation
+          excluded). *)
+  obs_before : counts;
+  obs_after : counts;
+}
+
+(** {1 Running passes} *)
+
+val run :
+  ?validate:bool -> ?observe:(observation -> unit) -> t -> Ir.context ->
+  Ir.context
 (** Apply one pass; with [validate] (default true), raises
     [Well_formed.Malformed] annotated with the pass name if the output is
-    malformed. *)
+    malformed. [observe] (off by default — the uninstrumented path measures
+    nothing) receives one {!observation} after the pass completes. *)
 
-val run_all : ?validate:bool -> t list -> Ir.context -> Ir.context
+val run_all :
+  ?validate:bool -> ?observe:(observation -> unit) -> t list -> Ir.context ->
+  Ir.context
+(** Observations arrive in pass order; consecutive observations chain
+    ([obs_after] of one equals [obs_before] of the next). *)
 
 val per_component : (Ir.context -> Ir.component -> Ir.component) -> Ir.context -> Ir.context
 (** Lift a per-component rewrite over every non-extern component. The

@@ -43,7 +43,7 @@ let lower config =
 
 let passes config = optimize config @ lower config
 
-let compile ?(config = default_config) ctx =
+let compile ?(config = default_config) ?observe ctx =
   Well_formed.check ctx;
   if config.lint then Lint.check ctx;
-  Pass.run_all (passes config) ctx
+  Pass.run_all ?observe (passes config) ctx

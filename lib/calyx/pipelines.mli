@@ -29,8 +29,12 @@ val optimize : config -> Pass.t list
 
 val lower : config -> Pass.t list
 
-val compile : ?config:config -> Ir.context -> Ir.context
-(** Run the whole pipeline; validates after every pass. *)
+val compile :
+  ?config:config -> ?observe:(Pass.observation -> unit) -> Ir.context ->
+  Ir.context
+(** Run the whole pipeline; validates after every pass. [observe] receives
+    one {!Pass.observation} per pass (see [Calyx_obs.Pass_stats] for a
+    ready-made collector and renderers). *)
 
 val passes : config -> Pass.t list
 (** The passes {!compile} runs, in order. *)

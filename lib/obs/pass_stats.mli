@@ -1,0 +1,38 @@
+(** Pass-pipeline instrumentation: collect the {!Calyx.Pass.observation}s
+    a compile emits and render them as a human table or JSON.
+
+    {[
+      let ctx, stats = Pass_stats.compile ~config ctx in
+      prerr_string (Pass_stats.render stats)
+    ]} *)
+
+open Calyx
+
+type t
+
+val create : unit -> t
+
+val observer : t -> Pass.observation -> unit
+(** Pass as [~observe] to {!Calyx.Pass.run_all} / {!Calyx.Pipelines.compile}. *)
+
+val compile :
+  ?config:Pipelines.config -> Ir.context -> Ir.context * t
+(** [Pipelines.compile] with a fresh collector attached. *)
+
+val observations : t -> Pass.observation list
+(** In execution order. *)
+
+val total_seconds : t -> float
+
+val consistent : t -> bool
+(** Each pass's [obs_after] equals the next pass's [obs_before] — the
+    deltas chain without gaps. Vacuously true for an empty run. *)
+
+val render : t -> string
+(** The human table: per pass, wall-clock milliseconds and
+    [before->after (+/-delta)] for cells, groups, assignments, and control
+    nodes. *)
+
+val to_json : t -> string
+(** [{"passes": [...], "total_seconds": ...}] following the
+    {!Calyx.Diagnostics} JSON conventions. *)

@@ -1,0 +1,130 @@
+open Calyx
+module Sim = Calyx_sim.Sim
+
+type t = {
+  out : string -> unit;
+  ids : string array;  (* VCD identifier codes, parallel to Sim.signals *)
+  widths : int array;
+  mutable last : Bitvec.t array option;  (* previous cycle's values *)
+  mutable last_cycle : int;
+  mutable finished : bool;
+}
+
+(* Identifier codes use the printable ASCII range '!'..'~' (94 symbols),
+   shortest-first (spreadsheet-column style, so every index is unique). *)
+let id_code i =
+  let buf = Buffer.create 2 in
+  let rec go i =
+    Buffer.add_char buf (Char.chr (33 + (i mod 94)));
+    if i >= 94 then go ((i / 94) - 1)
+  in
+  go i;
+  Buffer.contents buf
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+      | _ -> '_')
+    name
+
+(* The scope tree: leaves are (var name, signal index); subscopes are built
+   from the dotted signal paths in first-appearance order. *)
+type tree = {
+  mutable subs : (string * tree) list;  (* reversed *)
+  mutable leaves : (string * int) list;  (* reversed *)
+}
+
+let new_tree () = { subs = []; leaves = [] }
+
+let rec insert tree segments idx =
+  match segments with
+  | [] -> ()
+  | [ leaf ] -> tree.leaves <- (sanitize leaf, idx) :: tree.leaves
+  | scope :: rest ->
+      let scope = sanitize scope in
+      let sub =
+        match List.assoc_opt scope tree.subs with
+        | Some sub -> sub
+        | None ->
+            let sub = new_tree () in
+            tree.subs <- (scope, sub) :: tree.subs;
+            sub
+      in
+      insert sub rest idx
+
+let rec emit_tree out widths ids tree =
+  List.iter
+    (fun (name, idx) ->
+      out
+        (Printf.sprintf "$var wire %d %s %s $end\n" widths.(idx) ids.(idx)
+           name))
+    (List.rev tree.leaves);
+  List.iter
+    (fun (scope, sub) ->
+      out (Printf.sprintf "$scope module %s $end\n" scope);
+      emit_tree out widths ids sub;
+      out "$upscope $end\n")
+    (List.rev tree.subs)
+
+let split_path path = String.split_on_char '.' path
+
+let create ?(version = "calyx_obs") ~out sim =
+  let sigs = Sim.signals sim in
+  let n = Array.length sigs in
+  let ids = Array.init n id_code in
+  let widths = Array.map (fun s -> s.Sim.sig_width) sigs in
+  let root =
+    match Sim.instances sim with
+    | ("", comp) :: _ -> comp
+    | _ -> "main"
+  in
+  let tree = new_tree () in
+  Array.iteri
+    (fun i s -> insert tree (split_path s.Sim.sig_path) i)
+    sigs;
+  out (Printf.sprintf "$version %s $end\n" version);
+  out "$timescale 1ns $end\n";
+  out (Printf.sprintf "$scope module %s $end\n" (sanitize root));
+  emit_tree out widths ids tree;
+  out "$upscope $end\n";
+  out "$enddefinitions $end\n";
+  { out; ids; widths; last = None; last_cycle = 0; finished = false }
+
+let binary v =
+  let w = Bitvec.width v in
+  let x = Bitvec.to_int64 v in
+  String.init w (fun i ->
+      if
+        Int64.logand (Int64.shift_right_logical x (w - 1 - i)) 1L = 1L
+      then '1'
+      else '0')
+
+let value_change t i v =
+  if t.widths.(i) = 1 then
+    (if Bitvec.is_true v then "1" else "0") ^ t.ids.(i) ^ "\n"
+  else "b" ^ binary v ^ " " ^ t.ids.(i) ^ "\n"
+
+let sink t (ev : Sim.event) =
+  match t.last with
+  | None ->
+      t.out (Printf.sprintf "#%d\n$dumpvars\n" ev.Sim.ev_cycle);
+      Array.iteri (fun i v -> t.out (value_change t i v)) ev.Sim.ev_values;
+      t.out "$end\n";
+      t.last <- Some ev.Sim.ev_values;
+      t.last_cycle <- ev.Sim.ev_cycle
+  | Some prev ->
+      t.out (Printf.sprintf "#%d\n" ev.Sim.ev_cycle);
+      Array.iteri
+        (fun i v ->
+          if not (Bitvec.equal prev.(i) v) then t.out (value_change t i v))
+        ev.Sim.ev_values;
+      t.last <- Some ev.Sim.ev_values;
+      t.last_cycle <- ev.Sim.ev_cycle
+
+let finish t =
+  if not t.finished then begin
+    t.finished <- true;
+    if t.last <> None then t.out (Printf.sprintf "#%d\n" (t.last_cycle + 1))
+  end

@@ -1,0 +1,33 @@
+(** VCD (Value Change Dump) waveform writer — a {!Calyx_sim.Sim.sink}.
+
+    Turns the simulator's per-cycle events into an IEEE-1364 VCD file
+    loadable in GTKWave (or any waveform viewer): the design's instance
+    hierarchy becomes nested [$scope module] declarations (cells and
+    groups each get a scope; a group's go/done holes appear as [go]/[done]
+    wires inside its scope), one timestep per clock cycle, and only
+    changed values are dumped after the initial [$dumpvars] snapshot.
+
+    Usage:
+    {[
+      let oc = open_out "trace.vcd" in
+      let vcd = Vcd.create ~out:(output_string oc) sim in
+      Calyx_sim.Sim.set_sink sim (Some (Vcd.sink vcd));
+      ignore (Calyx_sim.Sim.run sim);
+      Vcd.finish vcd;
+      close_out oc
+    ]} *)
+
+type t
+
+val create : ?version:string -> out:(string -> unit) -> Calyx_sim.Sim.t -> t
+(** Write the header and variable definitions immediately through [out].
+    [version] fills the [$version] section (default ["calyx_obs"]); no
+    [$date] section is emitted, so output is deterministic. *)
+
+val sink : t -> Calyx_sim.Sim.event -> unit
+(** Record one cycle. The first observed cycle emits a full [$dumpvars]
+    snapshot; later cycles emit changed values only. *)
+
+val finish : t -> unit
+(** Emit the closing timestamp (one past the last observed cycle) so the
+    final cycle has visible duration. Idempotent. *)

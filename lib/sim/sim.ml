@@ -1,7 +1,7 @@
 open Calyx
 open Ir
 
-exception Timeout of int
+exception Timeout of { budget : int; snapshot : string }
 exception Conflict of string
 exception Unstable of string
 
@@ -130,6 +130,9 @@ type instance = {
   mutable i_ctrl : cstate;
   mutable i_running : bool;
   mutable i_done_reg : bool;
+  mutable i_iters_cycle : int;
+      (* combinational fixpoint iterations accumulated this cycle (a child
+         evaluates once per converging parent iteration); reset at commit *)
 }
 
 and child = {
@@ -345,6 +348,7 @@ let rec build ?(externs : (string * (unit -> Prim_state.t)) list = [])
     i_ctrl = CDone;
     i_running = false;
     i_done_reg = false;
+    i_iters_cycle = 0;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -456,6 +460,7 @@ let rec eval_comb inst (inputs : Bitvec.t array) =
     inst.i_env <- next;
     inst.i_next <- old
   done;
+  inst.i_iters_cycle <- inst.i_iters_cycle + !iters;
   (* Conflict detection at the fixpoint: two active assignments driving the
      same port with different values is undefined behaviour. *)
   let env = inst.i_env in
@@ -492,6 +497,7 @@ let rec eval_comb inst (inputs : Bitvec.t array) =
 (* ------------------------------------------------------------------ *)
 
 let rec commit inst =
+  inst.i_iters_cycle <- 0;
   let env = inst.i_env in
   (* Primitive state updates. *)
   Array.iter
@@ -527,6 +533,31 @@ let rec commit inst =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Observation (the event-sink interface of calyx_obs)                 *)
+(* ------------------------------------------------------------------ *)
+
+type signal_kind =
+  | Sig_this of string
+  | Sig_hole of string * string
+  | Sig_cell of string * string
+
+type signal = {
+  sig_path : string;
+  sig_width : int;
+  sig_instance : string;
+  sig_kind : signal_kind;
+}
+
+type event = {
+  ev_cycle : int;
+  ev_values : Bitvec.t array;
+  ev_active : (string * string) list;
+  ev_iters : int;
+}
+
+type sink = event -> unit
+
+(* ------------------------------------------------------------------ *)
 (* Public interface                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -534,6 +565,10 @@ type t = {
   root : instance;
   inputs : Bitvec.t array;  (* indexed like root.i_input_slots *)
   mutable finished : bool;
+  mutable cycles : int;  (* clock edges since creation *)
+  mutable sink : sink option;
+  mutable probes : (signal array * (instance * int) array) option;
+      (* built on demand: flattened signal metadata + where to read each *)
 }
 
 let create ?externs ctx =
@@ -547,7 +582,181 @@ let create ?externs ctx =
              (List.find (fun pd -> pd.pd_name = name) comp.inputs).pd_width)
          root.i_input_slots)
   in
-  { root; inputs; finished = false }
+  { root; inputs; finished = false; cycles = 0; sink = None; probes = None }
+
+(* Flattened views of the instance hierarchy. Instance paths are dotted
+   cell names from the entrypoint (the root's path is ""). *)
+
+let strip_prefix prefix =
+  if prefix = "" then "" else String.sub prefix 0 (String.length prefix - 1)
+
+let build_probes t =
+  let rec walk prefix inst acc =
+    let by_slot = Array.make (max inst.i_slots 1) None in
+    Hashtbl.iter (fun p id -> by_slot.(id) <- Some p) inst.i_port_ids;
+    let inst_path = strip_prefix prefix in
+    let acc = ref acc in
+    Array.iteri
+      (fun slot p ->
+        match p with
+        | None -> ()
+        | Some p ->
+            let kind, local =
+              match p with
+              | This n -> (Sig_this n, n)
+              | Hole (g, h) -> (Sig_hole (g, h), g ^ "." ^ h)
+              | Cell_port (c, q) -> (Sig_cell (c, q), c ^ "." ^ q)
+            in
+            acc :=
+              ( {
+                  sig_path = prefix ^ local;
+                  sig_width = Bitvec.width inst.i_zeros.(slot);
+                  sig_instance = inst_path;
+                  sig_kind = kind;
+                },
+                (inst, slot) )
+              :: !acc)
+      by_slot;
+    Array.fold_left
+      (fun acc (name, ch) -> walk (prefix ^ name ^ ".") ch.c_inst acc)
+      !acc inst.i_children
+  in
+  let entries = List.rev (walk "" t.root []) in
+  (Array.of_list (List.map fst entries), Array.of_list (List.map snd entries))
+
+let probes t =
+  match t.probes with
+  | Some p -> p
+  | None ->
+      let p = build_probes t in
+      t.probes <- Some p;
+      p
+
+let signals t = fst (probes t)
+
+let instances t =
+  let rec walk prefix inst acc =
+    let acc = (strip_prefix prefix, inst.i_comp.comp_name) :: acc in
+    Array.fold_left
+      (fun acc (name, ch) -> walk (prefix ^ name ^ ".") ch.c_inst acc)
+      acc inst.i_children
+  in
+  List.rev (walk "" t.root [])
+
+let set_sink t sink =
+  t.sink <- sink;
+  (* Pre-build the probe index so the first observed cycle is not slower
+     than the rest. *)
+  if sink <> None then ignore (probes t)
+
+let cycles_elapsed t = t.cycles
+
+let capture_values t =
+  let _, slots = probes t in
+  Array.map (fun (inst, slot) -> inst.i_env.(slot)) slots
+
+let instance_go inst =
+  Bitvec.is_true inst.i_env.(List.assoc "go" inst.i_input_slots)
+
+let collect_active t =
+  let rec walk prefix inst acc =
+    let acc =
+      if not inst.i_structured then acc
+      else
+        let inst_path = strip_prefix prefix in
+        List.fold_left
+          (fun acc (g, _) -> (inst_path, g) :: acc)
+          acc
+          (active_groups inst ~go:(instance_go inst))
+    in
+    Array.fold_left
+      (fun acc (name, ch) -> walk (prefix ^ name ^ ".") ch.c_inst acc)
+      acc inst.i_children
+  in
+  List.rev (walk "" t.root [])
+
+let rec total_iters inst =
+  Array.fold_left
+    (fun acc (_, ch) -> acc + total_iters ch.c_inst)
+    inst.i_iters_cycle inst.i_children
+
+(* ------------------------------------------------------------------ *)
+(* Status snapshots (Timeout debugging)                                *)
+(* ------------------------------------------------------------------ *)
+
+let rec cstate_to_string = function
+  | CDone -> "done"
+  | CEnable g -> g
+  | CSeq (s, rest) -> (
+      match List.length rest with
+      | 0 -> Printf.sprintf "seq(%s)" (cstate_to_string s)
+      | n -> Printf.sprintf "seq(%s; +%d more)" (cstate_to_string s) n)
+  | CPar ss ->
+      "par{" ^ String.concat " | " (List.map cstate_to_string ss) ^ "}"
+  | CIfCond (_, p, _, _) -> Format.asprintf "if(%a?)" pp_port_ref p
+  | CWhileCond (_, p, _) -> Format.asprintf "while(%a?)" pp_port_ref p
+  | CWhileBody (s, _, p, _) ->
+      Format.asprintf "while(%a){%s}" pp_port_ref p (cstate_to_string s)
+
+let status t =
+  let buf = Buffer.create 256 in
+  let add fmt =
+    Printf.ksprintf
+      (fun s ->
+        Buffer.add_string buf s;
+        Buffer.add_char buf '\n')
+      fmt
+  in
+  add "simulation state after %d cycles:" t.cycles;
+  let rec walk path inst =
+    let name = if path = "" then "<entry>" else path in
+    if inst.i_structured then begin
+      let state =
+        if inst.i_running then "running " ^ cstate_to_string inst.i_ctrl
+        else if inst.i_done_reg then "presenting done"
+        else "idle"
+      in
+      add "  %s (component %s): %s" name inst.i_comp.comp_name state;
+      List.iter
+        (fun (g, _) ->
+          match find_group_opt inst.i_comp g with
+          | None -> add "    active group %s" g
+          | Some grp ->
+              List.iter
+                (fun a ->
+                  if equal_port_ref a.dst (Hole (g, "done")) then
+                    add "    active group %s: waiting on %s" g
+                      (Format.asprintf "%a" Printer.pp_assignment a))
+                grp.assigns)
+        (active_groups inst ~go:(instance_go inst))
+    end
+    else begin
+      add "  %s (component %s): flat netlist" name inst.i_comp.comp_name;
+      List.iter
+        (fun a ->
+          if equal_port_ref a.dst (This "done") then
+            add "    done wiring: %s"
+              (Format.asprintf "%a" Printer.pp_assignment a))
+        inst.i_comp.continuous;
+      Array.iter
+        (fun pi ->
+          if
+            String.length pi.pi_cell >= 3
+            && String.sub pi.pi_cell 0 3 = "fsm"
+          then
+            try
+              add "    fsm register %s = %s" pi.pi_cell
+                (Bitvec.to_string (Prim_state.get_register pi.pi_state))
+            with Prim_state.Sim_error _ -> ())
+        inst.i_prims
+    end;
+    Array.iter
+      (fun (n, ch) ->
+        walk (if path = "" then n else path ^ "." ^ n) ch.c_inst)
+      inst.i_children
+  in
+  walk "" t.root;
+  Buffer.contents buf
 
 let set_input t name v =
   let rec go i = function
@@ -567,6 +776,18 @@ let read_output t name =
 
 let cycle t =
   eval_comb t.root t.inputs;
+  (* Observation point: the combinational fixpoint has settled, state has
+     not yet committed — the values "on the wires" during this cycle. *)
+  (match t.sink with
+  | None -> ()
+  | Some sink ->
+      sink
+        {
+          ev_cycle = t.cycles;
+          ev_values = capture_values t;
+          ev_active = collect_active t;
+          ev_iters = total_iters t.root;
+        });
   let flat_done =
     (not t.root.i_structured)
     && Bitvec.is_true
@@ -576,7 +797,8 @@ let cycle t =
   let structured_done =
     t.root.i_structured && t.root.i_done_reg
   in
-  if flat_done || structured_done then t.finished <- true
+  if flat_done || structured_done then t.finished <- true;
+  t.cycles <- t.cycles + 1
 
 let done_seen t = t.finished
 
@@ -587,7 +809,8 @@ let run ?(max_cycles = 5_000_000) t =
     cycle t;
     incr cycles
   done;
-  if not t.finished then raise (Timeout max_cycles);
+  if not t.finished then
+    raise (Timeout { budget = max_cycles; snapshot = status t });
   !cycles
 
 (* Hierarchical test-bench access. *)

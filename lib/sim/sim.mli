@@ -20,9 +20,13 @@ open Calyx
 
 type t
 
-exception Timeout of int
+exception Timeout of { budget : int; snapshot : string }
 (** Raised by {!run} when the design does not finish within the cycle
-    budget; carries the budget. *)
+    budget. Carries the budget and a {!status} snapshot taken at the
+    moment of the timeout (currently-active groups and what their done
+    holes are waiting on, sub-component control/FSM states, and the
+    entrypoint's [done] wiring), so a hang is debuggable from the error
+    alone. *)
 
 exception Conflict of string
 (** Two active assignments drove the same port with different values in the
@@ -48,6 +52,67 @@ val cycle : t -> unit
 
 val done_seen : t -> bool
 (** Whether the design has signalled completion. *)
+
+val cycles_elapsed : t -> int
+(** Clock edges since creation (every {!cycle} call, including those made
+    by {!run}). *)
+
+val status : t -> string
+(** A multi-line human-readable snapshot of the current simulation state:
+    per structured instance its control state and active groups (with the
+    assignment each group's done hole is waiting on); per flat instance
+    the entrypoint's [done] wiring and FSM register values. Used by
+    {!Timeout} and available to test benches. *)
+
+(** {1 Observation (the event-sink interface)}
+
+    The observability layer ([calyx_obs]: VCD tracing, profiling) attaches
+    through a single optional sink. When no sink is installed the per-cycle
+    overhead is one [option] match; when one is, the simulator publishes an
+    {!event} per cycle after the combinational fixpoint settles and before
+    state commits — the values "on the wires" during that cycle.
+
+    Signals and instances are addressed by dotted hierarchical paths from
+    the entrypoint: the root instance's path is [""], a cell [c] inside
+    child instance [d] is ["d.c"], its port [p] is ["d.c.p"], and group
+    holes appear as ["g.go"]/["g.done"] (group and cell names share a
+    namespace, so paths are unambiguous). *)
+
+(** Which port a signal is (within its instance). *)
+type signal_kind =
+  | Sig_this of string  (** A signature port of the instance. *)
+  | Sig_hole of string * string  (** [(group, "go"/"done")]. *)
+  | Sig_cell of string * string  (** [(cell, port)]. *)
+
+type signal = {
+  sig_path : string;  (** Full dotted path, e.g. ["pe00.acc.write_en"]. *)
+  sig_width : int;
+  sig_instance : string;  (** Owning instance path ([""] = root). *)
+  sig_kind : signal_kind;
+}
+
+type event = {
+  ev_cycle : int;  (** 0-based cycle number. *)
+  ev_values : Bitvec.t array;  (** Indexed like {!signals}. *)
+  ev_active : (string * string) list;
+      (** Active groups this cycle as [(instance path, group name)]. *)
+  ev_iters : int;
+      (** Combinational fixpoint iterations spent this cycle, summed over
+          the instance hierarchy. *)
+}
+
+type sink = event -> unit
+
+val signals : t -> signal array
+(** Every interned port in the design, hierarchically flattened; the
+    index order matches [ev_values]. *)
+
+val instances : t -> (string * string) list
+(** All instances as [(path, component name)]; the root is [("", entry)]. *)
+
+val set_sink : t -> sink option -> unit
+(** Install or remove the per-cycle observer. Multiple observers compose
+    by wrapping: [set_sink t (Some (fun ev -> a ev; b ev))]. *)
 
 val set_input : t -> string -> Bitvec.t -> unit
 (** Set a top-level input port value (held until changed). *)

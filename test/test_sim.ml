@@ -110,8 +110,23 @@ let test_timeout () =
     |> with_control (enable "stuck")
   in
   let sim = Calyx_sim.Sim.create (context [ main ]) in
-  Alcotest.check_raises "timeout" (Calyx_sim.Sim.Timeout 100) (fun () ->
-      ignore (Calyx_sim.Sim.run ~max_cycles:100 sim))
+  match Calyx_sim.Sim.run ~max_cycles:100 sim with
+  | (_ : int) -> Alcotest.fail "expected Timeout"
+  | exception Calyx_sim.Sim.Timeout { budget; snapshot } ->
+      Alcotest.(check int) "budget" 100 budget;
+      (* The snapshot names the stuck group and the done wiring it is
+         waiting on. *)
+      let contains needle =
+        let nl = String.length needle and hl = String.length snapshot in
+        let rec go i =
+          i + nl <= hl && (String.sub snapshot i nl = needle || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool) "snapshot mentions stuck group" true
+        (contains "stuck");
+      Alcotest.(check bool) "snapshot shows the done wiring" true
+        (contains "r.done")
 
 let test_empty_control_times_out_without_done () =
   (* An empty control program finishes immediately. *)
