@@ -43,12 +43,125 @@ module Record = struct
           ] )
       :: !experiments
 
+  let current () = Json.obj (List.rev !experiments)
+
   let write path =
     let oc = open_out path in
-    output_string oc (Json.obj (List.rev !experiments));
+    output_string oc (current ());
     output_char oc '\n';
     close_out oc;
     Printf.printf "wrote %s\n" path
+end
+
+(* Regression mode: diff the current run against a previous
+   BENCH_results.json. Every numeric leaf (summary statistics and per-row
+   fields) is compared; wall-clock measurements (keys ending in "_s",
+   Bechamel's "ns_per_run", and the whole "perf" experiment) are excluded
+   because they vary run to run, while everything else in this harness is
+   deterministic — so any drift past the threshold is a real behavioural
+   change and fails the run. *)
+module Regress = struct
+  let time_key k =
+    k = "ns_per_run"
+    || (String.length k >= 2 && String.sub k (String.length k - 2) 2 = "_s")
+
+  (* (label, value) pairs for an experiment object: summary fields plus
+     per-row numeric fields; booleans (the "correct" checks) count as 0/1
+     so a correctness flip shows up as a 100% delta. *)
+  let leaves exp_value =
+    let acc = ref [] in
+    let leaf label v =
+      match (v : Json.value) with
+      | Json.Number f -> acc := (label, f) :: !acc
+      | Json.Bool b -> acc := (label, if b then 1. else 0.) :: !acc
+      | _ -> ()
+    in
+    (match Json.member "summary" exp_value with
+    | Some (Json.Object fields) ->
+        List.iter
+          (fun (k, v) -> if not (time_key k) then leaf ("summary." ^ k) v)
+          fields
+    | _ -> ());
+    (match Json.member "rows" exp_value with
+    | Some (Json.Array rows) ->
+        List.iteri
+          (fun i row ->
+            match row with
+            | Json.Object fields ->
+                (* Label rows by their identifying field when present so
+                   diffs stay readable if the row order ever changes. *)
+                let id =
+                  match
+                    ( Json.member "kernel" row,
+                      Json.member "n" row,
+                      Json.member "design" row )
+                  with
+                  | Some (Json.String s), _, _ -> s
+                  | _, Some (Json.Number n), _ ->
+                      Printf.sprintf "n=%d" (int_of_float n)
+                  | _, _, Some (Json.String s) -> s
+                  | _ -> string_of_int i
+                in
+                List.iter
+                  (fun (k, v) ->
+                    if not (time_key k) then
+                      leaf (Printf.sprintf "rows[%s].%s" id k) v)
+                  fields
+            | _ -> ())
+          rows
+    | _ -> ());
+    List.rev !acc
+
+  let read_file path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+
+  (* Returns the number of metrics that moved past [threshold] percent. *)
+  let run ~baseline_path ~threshold current =
+    header
+      (Printf.sprintf "regression vs %s (threshold %.1f%%)" baseline_path
+         threshold);
+    let base = Json.parse (read_file baseline_path) in
+    let cur = Json.parse current in
+    let compared = ref 0 and changed = ref 0 and regressions = ref 0 in
+    List.iter
+      (fun name ->
+        if name <> "perf" then
+          match (Json.member name base, Json.member name cur) with
+          | Some bexp, Some cexp ->
+              let bl = leaves bexp in
+              List.iter
+                (fun (label, c) ->
+                  match List.assoc_opt label bl with
+                  | None ->
+                      Printf.printf "  %-15s %-40s new metric (%.4g)\n" name
+                        label c
+                  | Some b ->
+                      incr compared;
+                      let delta =
+                        if b = 0. then if c = 0. then 0. else Float.infinity
+                        else 100. *. (c -. b) /. Float.abs b
+                      in
+                      let flag = Float.abs delta > threshold in
+                      if flag then incr regressions;
+                      if delta <> 0. then begin
+                        incr changed;
+                        Printf.printf
+                          "  %-15s %-40s %14.6g -> %-14.6g %+8.2f%%%s\n" name
+                          label b c delta
+                          (if flag then "  REGRESSION" else "")
+                      end)
+                (leaves cexp)
+          | None, Some _ ->
+              Printf.printf "  %-15s not in baseline (skipped)\n" name
+          | _, None -> ())
+      (Json.keys cur);
+    Printf.printf
+      "%d metrics compared, %d changed, %d past the ±%.1f%% threshold\n"
+      !compared !changed !regressions threshold;
+    !regressions
 end
 
 let sensitive_config =
@@ -456,6 +569,59 @@ let stats () =
   Record.summary "systolic8_emit_s" dt_sys_emit
 
 (* ------------------------------------------------------------------ *)
+(* Coverage of the generated designs (calyx_cover)                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Structured-interpretation coverage of the systolic generator's output:
+   a generator bug that stops exercising a group or branch shows up here
+   as a coverage drop, which the regression mode then catches. *)
+let cover () =
+  header "Coverage: structured interpretation of generated designs";
+  Printf.printf "%-14s %8s %9s %9s %10s\n" "design" "cycles" "groups"
+    "overall" "uncovered";
+  let min_group = ref 100. in
+  let one name ctx load =
+    let ctx = Pass.run Compile_invoke.pass ctx in
+    let sim = Calyx_sim.Sim.create ctx in
+    let cov = Calyx_cover.Coverage.create ctx sim in
+    load sim;
+    let cycles = Calyx_sim.Sim.run sim in
+    let groups = Calyx_cover.Coverage.group_pct cov in
+    let overall = Calyx_cover.Coverage.overall_pct cov in
+    let uncovered = List.length (Calyx_cover.Coverage.uncovered cov) in
+    min_group := min !min_group groups;
+    Printf.printf "%-14s %8d %8.1f%% %8.1f%% %10d\n" name cycles groups
+      overall uncovered;
+    Record.row
+      [
+        ("design", Json.str name);
+        ("cycles", Json.int cycles);
+        ("group_pct", Json.float groups);
+        ("overall_pct", Json.float overall);
+        ("uncovered", Json.int uncovered);
+      ]
+  in
+  List.iter
+    (fun n ->
+      let d = { Systolic.rows = n; cols = n; depth = n; width = 32 } in
+      one
+        (Printf.sprintf "systolic-%dx%d" n n)
+        (Systolic.generate d)
+        (fun sim ->
+          for r = 0 to n - 1 do
+            Calyx_sim.Sim.write_memory_ints sim (Systolic.left_memory r)
+              ~width:32
+              (List.init n (fun k -> (((r * 3) + k) mod 9) + 1))
+          done;
+          for c = 0 to n - 1 do
+            Calyx_sim.Sim.write_memory_ints sim (Systolic.top_memory c)
+              ~width:32
+              (List.init n (fun k -> (((k * 5) + c) mod 7) + 1))
+          done))
+    [ 2; 4 ];
+  Record.summary "min_group_pct" !min_group
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks (compiler-side work per experiment)       *)
 (* ------------------------------------------------------------------ *)
 
@@ -533,12 +699,31 @@ let experiments =
     ("fig9b", fig9b);
     ("fig9c", fig9c);
     ("stats", stats);
+    ("cover", cover);
     ("perf", perf);
   ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  (match args with
+  let baseline = ref None and threshold = ref 5.0 in
+  let rec parse_args acc = function
+    | [] -> List.rev acc
+    | "--baseline" :: file :: rest ->
+        baseline := Some file;
+        parse_args acc rest
+    | "--threshold" :: pct :: rest ->
+        (match float_of_string_opt pct with
+        | Some t -> threshold := t
+        | None ->
+            Printf.eprintf "--threshold expects a percentage, got %s\n" pct;
+            exit 2);
+        parse_args acc rest
+    | ("--baseline" | "--threshold") :: [] ->
+        Printf.eprintf "--baseline FILE / --threshold PCT need an argument\n";
+        exit 2
+    | name :: rest -> parse_args (name :: acc) rest
+  in
+  (match parse_args [] args with
   | [] ->
       List.iter (fun (name, f) -> Record.experiment name f) experiments;
       print_newline ()
@@ -552,4 +737,14 @@ let () =
                 (String.concat ", " (List.map fst experiments));
               exit 1)
         names);
-  Record.write "BENCH_results.json"
+  Record.write "BENCH_results.json";
+  match !baseline with
+  | None -> ()
+  | Some path ->
+      if not (Sys.file_exists path) then begin
+        Printf.eprintf "baseline %s does not exist\n" path;
+        exit 2
+      end;
+      if Regress.run ~baseline_path:path ~threshold:!threshold (Record.current ())
+         > 0
+      then exit 1

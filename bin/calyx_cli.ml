@@ -7,6 +7,7 @@
      interp     run a structured Calyx program with the reference interpreter
      sim        compile a Calyx program and run the flat simulator
      profile    merged compile + runtime report (pass stats, group cycles)
+     cover      coverage analysis, span traces, par critical-path report
      dahlia     compile a Dahlia program (optionally run it)
      systolic   generate (and optionally run) a systolic array
      polybench  run PolyBench kernels and report cycles/area
@@ -115,8 +116,10 @@ let handle_errors f =
   | Dahlia.To_calyx.Backend_error msg ->
       Printf.eprintf "dahlia error: %s\n" msg;
       1
-  | Calyx_sim.Sim.Conflict msg | Calyx_sim.Sim.Unstable msg ->
-      Printf.eprintf "simulation error: %s\n" msg;
+  | Calyx_sim.Sim.Conflict { cycle; message; snapshot }
+  | Calyx_sim.Sim.Unstable { cycle; message; snapshot } ->
+      Printf.eprintf "simulation error at cycle %d: %s\n" cycle message;
+      Printf.eprintf "state at failure:\n%s\n" snapshot;
       1
   | Calyx_sim.Sim.Timeout { budget; snapshot } ->
       Printf.eprintf "simulation error: no completion within %d cycles\n"
@@ -144,18 +147,12 @@ let with_observers sim ~trace ~profile f =
             close_out oc),
           Some v )
   in
-  let sink =
-    match (prof, vcd) with
-    | None, None -> None
-    | Some p, None -> Some (Calyx_obs.Profile.sink p)
-    | None, Some v -> Some (Calyx_obs.Vcd.sink v)
-    | Some p, Some v ->
-        Some
-          (fun ev ->
-            Calyx_obs.Vcd.sink v ev;
-            Calyx_obs.Profile.sink p ev)
-  in
-  Calyx_sim.Sim.set_sink sim sink;
+  Option.iter
+    (fun v -> Calyx_sim.Sim.add_sink sim (Calyx_obs.Vcd.sink v))
+    vcd;
+  Option.iter
+    (fun p -> Calyx_sim.Sim.add_sink sim (Calyx_obs.Profile.sink p))
+    prof;
   Fun.protect ~finally:finish_vcd (fun () -> f prof)
 
 let trace_term =
@@ -163,6 +160,30 @@ let trace_term =
     value
     & opt (some string) None
     & info [ "trace" ] ~docv:"FILE" ~doc:"Write a VCD waveform trace to $(docv).")
+
+let spans_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "spans" ] ~docv:"FILE"
+        ~doc:"Write a Chrome trace_event span trace to $(docv) (load it at ui.perfetto.dev).")
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+(* Frontend selection by suffix: .dahlia/.fuse sources go through the
+   Dahlia frontend, everything else parses as Calyx. *)
+let parse_source file =
+  if Filename.check_suffix file ".dahlia" || Filename.check_suffix file ".fuse"
+  then begin
+    let ic = open_in file in
+    let src = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    Dahlia.To_calyx.compile (Dahlia.Parser.parse_string src)
+  end
+  else Calyx.Parser.parse_file file
 
 (* ------------------------------------------------------------------ *)
 (* Subcommands                                                         *)
@@ -225,37 +246,63 @@ let compile_cmd =
     Term.(const run $ file_arg $ config_term $ emit_term $ pass_stats $ json)
 
 let interp_cmd =
-  let run file mems =
+  let run file mems spans =
     handle_errors (fun () ->
         let ctx = Calyx.Parser.parse_file file in
         Calyx.Well_formed.check ctx;
         let sim = Calyx_sim.Sim.create ctx in
+        let sp =
+          Option.map (fun _ -> Calyx_cover.Spans.create ctx sim) spans
+        in
         load_mems sim mems;
-        let cycles = Calyx_sim.Sim.run sim in
-        Printf.printf "cycles: %d\n" cycles;
-        dump_externals sim)
+        let finish () =
+          Option.iter
+            (fun path ->
+              write_file path
+                (Calyx_cover.Spans.to_chrome (Option.get sp)))
+            spans
+        in
+        Fun.protect ~finally:finish (fun () ->
+            let cycles = Calyx_sim.Sim.run sim in
+            Printf.printf "cycles: %d\n" cycles;
+            dump_externals sim))
   in
   Cmd.v
     (Cmd.info "interp" ~doc:"Execute a structured Calyx program with the reference interpreter.")
-    Term.(const run $ file_arg $ mems_term)
+    Term.(const run $ file_arg $ mems_term $ spans_term)
 
 let sim_cmd =
-  let run file config mems trace profile =
+  let run file config mems trace profile spans =
     handle_errors (fun () ->
         let ctx = Calyx.Parser.parse_file file in
         let lowered = Calyx.Pipelines.compile ~config ctx in
         let sim = Calyx_sim.Sim.create lowered in
+        (* A compiled program has no control tree; derive spans from the
+           value runs of its generated fsm schedule registers instead. *)
+        let sp =
+          Option.map
+            (fun _ -> Calyx_cover.Spans.create_fsm lowered sim)
+            spans
+        in
         load_mems sim mems;
-        with_observers sim ~trace ~profile (fun prof ->
-            let cycles = Calyx_sim.Sim.run sim in
-            Printf.printf "cycles: %d\n" cycles;
-            dump_externals sim;
-            (* The lowered program has no groups left, so this reports
-               totals, fixpoint behaviour, and cell utilization; use the
-               [profile] subcommand for group-level attribution. *)
-            Option.iter
-              (fun p -> print_string (Calyx_obs.Profile.render p))
-              prof))
+        let finish () =
+          Option.iter
+            (fun path ->
+              write_file path
+                (Calyx_cover.Spans.to_chrome (Option.get sp)))
+            spans
+        in
+        Fun.protect ~finally:finish (fun () ->
+            with_observers sim ~trace ~profile (fun prof ->
+                let cycles = Calyx_sim.Sim.run sim in
+                Printf.printf "cycles: %d\n" cycles;
+                dump_externals sim;
+                (* The lowered program has no groups left, so this reports
+                   totals, fixpoint behaviour, and cell utilization; use the
+                   [profile] subcommand for group-level attribution. *)
+                Option.iter
+                  (fun p -> print_string (Calyx_obs.Profile.render p))
+                  prof)))
   in
   let profile =
     Arg.(
@@ -265,7 +312,8 @@ let sim_cmd =
   in
   Cmd.v
     (Cmd.info "sim" ~doc:"Compile a Calyx program and run the cycle-accurate flat simulator.")
-    Term.(const run $ file_arg $ config_term $ mems_term $ trace_term $ profile)
+    Term.(const run $ file_arg $ config_term $ mems_term $ trace_term $ profile
+          $ spans_term)
 
 let dahlia_cmd =
   let run file config emit execute mems =
@@ -358,18 +406,7 @@ let profile_cmd =
     let failed = ref false in
     let code =
       handle_errors (fun () ->
-          let ctx =
-            if
-              Filename.check_suffix file ".dahlia"
-              || Filename.check_suffix file ".fuse"
-            then begin
-              let ic = open_in file in
-              let src = really_input_string ic (in_channel_length ic) in
-              close_in ic;
-              Dahlia.To_calyx.compile (Dahlia.Parser.parse_string src)
-            end
-            else Calyx.Parser.parse_file file
-          in
+          let ctx = parse_source file in
           Calyx.Well_formed.check ctx;
           (* Compile once for the pass-pipeline report... *)
           let _lowered, stats = Calyx_obs.Pass_stats.compile ~config ctx in
@@ -431,6 +468,96 @@ let profile_cmd =
        ~doc:"Compile a Calyx (or Dahlia) program and print a merged report: per-pass compile statistics plus a runtime profile from interpreting the structured program (per-group active cycles and activations attributed against derived latencies, fixpoint statistics, cell utilization).")
     Term.(const run $ file_arg $ config_term $ mems_term $ trace_term $ json $ strict)
 
+let cover_cmd =
+  let run file config mems json spans fail_under =
+    let failed = ref false in
+    let code =
+      handle_errors (fun () ->
+          let ctx = parse_source file in
+          Calyx.Well_formed.check ctx;
+          (* One structured pass gathers group/branch coverage, spans, and
+             the par critical path; invoke is the one control construct
+             the interpreter refuses, so compile it away first. *)
+          let runnable = Calyx.Pass.run Calyx.Compile_invoke.pass ctx in
+          let ssim = Calyx_sim.Sim.create runnable in
+          let cov = Calyx_cover.Coverage.create runnable ssim in
+          let sp = Calyx_cover.Spans.create runnable ssim in
+          load_mems ssim mems;
+          let finish () =
+            Option.iter
+              (fun path ->
+                write_file path (Calyx_cover.Spans.to_chrome sp))
+              spans
+          in
+          Fun.protect ~finally:finish (fun () ->
+              let scycles = Calyx_sim.Sim.run ssim in
+              let crit = Calyx_cover.Crit_path.analyze runnable ssim sp in
+              (* A second, compiled pass covers the generated fsm schedule
+                 registers — the states the lowered hardware visits. *)
+              let lowered = Calyx.Pipelines.compile ~config ctx in
+              let fsim = Calyx_sim.Sim.create lowered in
+              let fcov = Calyx_cover.Coverage.create lowered fsim in
+              load_mems fsim mems;
+              let fcycles = Calyx_sim.Sim.run fsim in
+              if json then
+                print_endline
+                  (Calyx.Json.obj
+                     [
+                       ("file", Calyx.Json.str file);
+                       ("cycles", Calyx.Json.int scycles);
+                       ("compiled_cycles", Calyx.Json.int fcycles);
+                       ("coverage", Calyx_cover.Coverage.to_json cov);
+                       ( "fsm_coverage",
+                         Calyx_cover.Coverage.to_json fcov );
+                       ( "critical_path",
+                         Calyx_cover.Crit_path.to_json crit );
+                     ])
+              else begin
+                Printf.printf "== coverage (structured, %d cycles) ==\n%s\n"
+                  scycles
+                  (Calyx_cover.Coverage.render cov);
+                Printf.printf "== par critical path ==\n%s\n"
+                  (Calyx_cover.Crit_path.render crit);
+                Printf.printf "== coverage (compiled, %d cycles) ==\n%s"
+                  fcycles
+                  (Calyx_cover.Coverage.render fcov)
+              end;
+              Option.iter
+                (fun threshold ->
+                  let got = Calyx_cover.Coverage.group_pct cov in
+                  if got < threshold then begin
+                    Printf.eprintf
+                      "group coverage %.1f%% is below the --fail-under \
+                       threshold %.1f%%\n"
+                      got threshold;
+                    List.iter
+                      (fun item -> Printf.eprintf "  %s\n" item)
+                      (Calyx_cover.Coverage.uncovered cov);
+                    failed := true
+                  end)
+                fail_under))
+    in
+    if code <> 0 then code else if !failed then 1 else 0
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the merged coverage report as a single JSON object.")
+  in
+  let fail_under =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "fail-under" ] ~docv:"PCT"
+          ~doc:"Exit non-zero if group-activation coverage (the structured run's group_pct) is below $(docv) percent.")
+  in
+  Cmd.v
+    (Cmd.info "cover"
+       ~doc:"Run a Calyx (or Dahlia) program under the coverage collectors: group-activation, if/while branch, and port-toggle coverage from the reference interpreter, FSM-state coverage from the compiled program, control-tree span traces (Chrome trace_event JSON for Perfetto), and a par critical-path report with per-arm slack cross-checked against derived latencies.")
+    Term.(const run $ file_arg $ config_term $ mems_term $ json $ spans_term
+          $ fail_under)
+
 let stats_cmd =
   let run file config =
     handle_errors (fun () ->
@@ -475,5 +602,5 @@ let () =
           (Cmd.info "calyx" ~version:"1.0.0" ~doc)
           [
             check_cmd; compile_cmd; interp_cmd; sim_cmd; profile_cmd;
-            dahlia_cmd; systolic_cmd; polybench_cmd; stats_cmd;
+            cover_cmd; dahlia_cmd; systolic_cmd; polybench_cmd; stats_cmd;
           ]))

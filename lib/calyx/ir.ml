@@ -299,6 +299,33 @@ let iter_control_path f ctrl =
   in
   go "" ctrl
 
+(* The canonical control-node numbering: non-Empty statements in pre-order
+   (children left to right; an if visits then before else). The simulator
+   mirrors this numbering when it annotates a component's control program,
+   so span and branch events can be joined back to paths and labels. *)
+let control_preorder ctrl =
+  let next = ref 0 in
+  let acc = ref [] in
+  iter_control_path
+    (fun path c ->
+      match c with
+      | Empty -> ()
+      | _ ->
+          let id = !next in
+          incr next;
+          acc := (id, path, c) :: !acc)
+    ctrl;
+  List.rev !acc
+
+let control_node_label = function
+  | Empty -> "empty"
+  | Enable (g, _) -> "enable " ^ g
+  | Seq _ -> "seq"
+  | Par _ -> "par"
+  | If _ -> "if"
+  | While _ -> "while"
+  | Invoke { cell; _ } -> "invoke " ^ cell
+
 let enabled_groups ctrl =
   let seen = Hashtbl.create 16 in
   let order = ref [] in

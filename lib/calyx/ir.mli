@@ -193,6 +193,17 @@ val iter_control_path : (string -> control -> unit) -> control -> unit
     (e.g. ["seq[1].par[0]"]; the root's path is [""]), for diagnostics
     that address a control statement. *)
 
+val control_preorder : control -> (int * string * control) list
+(** The canonical control-node numbering used for span attribution: every
+    non-[Empty] statement in pre-order (children left to right; [If] visits
+    the then branch before the else branch) as [(id, path, node)], ids
+    counting from 0 and paths as in {!iter_control_path}. The simulator's
+    control events ({!Calyx_sim.Sim.ctrl_event}) carry these ids. *)
+
+val control_node_label : control -> string
+(** A short human label for a control node: ["seq"], ["par"], ["if"],
+    ["while"], ["enable g"], ["invoke c"]. *)
+
 val enabled_groups : control -> string list
 (** Names of groups enabled anywhere in a control program, including
     [with] condition groups; without duplicates, in first-visit order. *)

@@ -25,3 +25,35 @@ val obj : (string * string) list -> string
 
 val arr : string list -> string
 (** An array of serialized values. *)
+
+(** {1 Parsing}
+
+    A small recursive-descent reader, enough to consume this repository's
+    own machine outputs (the bench regression mode diffs two
+    [BENCH_results.json] files; the test suite validates coverage reports
+    and span traces). Numbers are represented as [float] — exact for the
+    integer ranges these files contain. *)
+
+type value =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | Array of value list
+  | Object of (string * value) list
+
+exception Parse_error of string
+
+val parse : string -> value
+(** Parse a complete JSON document; raises {!Parse_error} (with the byte
+    offset) on malformed input or trailing garbage. *)
+
+val member : string -> value -> value option
+(** Field lookup on an [Object]; [None] on other values. *)
+
+val to_float : value -> float option
+val to_string : value -> string option
+val to_list : value -> value list option
+
+val keys : value -> string list
+(** Field names of an [Object], in document order; [[]] otherwise. *)

@@ -1,0 +1,125 @@
+(** Simulation coverage collection (the [calyx cover] engine).
+
+    One collector attaches to a simulation through the ordinary event sink
+    and the control-event sink ({!Calyx_sim.Sim.add_sink} /
+    {!Calyx_sim.Sim.add_ctrl_sink}) and accumulates four coverage views in
+    a single pass:
+
+    - {b group activation}: which groups of each component instance ran at
+      least one cycle (from [ev_active]);
+    - {b branch coverage}: per [if], how often each direction was taken;
+      per [while], a trip-count histogram with zero-trip activations
+      flagged (from the control events of the reference interpreter);
+    - {b FSM-state coverage}: for {e compiled} programs, which states each
+      generated [fsm] register visited, against the set of states the
+      schedule can reach (every literal written to [fsm.in], plus the
+      reset state 0);
+    - {b port toggles}: which signals changed value at least once.
+
+    The overall percentage combines groups, if arms, while bodies, and fsm
+    states; toggles are reported separately (ports wired to constants make
+    a 100% toggle total unreachable by construction). Structured programs
+    exercise the first two views, compiled (flat) programs the third; both
+    record toggles. *)
+
+open Calyx
+
+type t
+
+val create : Ir.context -> Calyx_sim.Sim.t -> t
+(** Build a collector for this program/simulation pair and attach its
+    sinks. [ctx] must be the same program the simulation was created from
+    (it enumerates the groups, control nodes, and fsm registers that make
+    up the coverage universe). Create it before running. *)
+
+(** {1 Raw rows} *)
+
+type group_row = {
+  gr_instance : string;  (** Instance path ([""] = entrypoint). *)
+  gr_component : string;
+  gr_group : string;
+  gr_cycles : int;  (** Active cycles; 0 = uncovered. *)
+}
+
+type if_row = {
+  ir_instance : string;
+  ir_component : string;
+  ir_path : string;  (** Control path, e.g. ["seq[1].if.then"]'s parent. *)
+  ir_taken : int;  (** Resolutions where the condition was true. *)
+  ir_untaken : int;
+}
+
+type while_row = {
+  wr_instance : string;
+  wr_component : string;
+  wr_path : string;
+  wr_entered : int;  (** Activations (enter events). *)
+  wr_trips : (int * int) list;
+      (** Histogram: body trip count -> completed activations. *)
+  wr_zero_trip : bool;  (** Some activation ran the body zero times. *)
+}
+
+type fsm_row = {
+  fr_instance : string;
+  fr_component : string;
+  fr_cell : string;
+  fr_possible : int list;  (** Reachable-by-construction states, sorted. *)
+  fr_missed : int list;  (** Possible states never observed. *)
+}
+
+val group_rows : t -> group_row list
+val if_rows : t -> if_row list
+val while_rows : t -> while_row list
+val fsm_rows : t -> fsm_row list
+
+val toggle_counts : t -> int * int
+(** [(signals that changed value, total signals)]. *)
+
+val untoggled : t -> string list
+(** Paths of signals that never changed value. *)
+
+(** {1 Summaries} *)
+
+val overall_pct : t -> float
+(** Covered / total over groups, if arms, while bodies, and fsm states;
+    100.0 when the universe is empty. *)
+
+val group_pct : t -> float
+(** Group-activation coverage alone — the metric [--fail-under] and the CI
+    gate use. *)
+
+val cycles_observed : t -> int
+
+val uncovered : t -> string list
+(** One human-readable line per uncovered item (group, branch direction,
+    while body, fsm state), in report order. *)
+
+type rollup = {
+  ru_component : string;
+  ru_groups : int * int;  (** (covered, total) *)
+  ru_if_arms : int * int;
+  ru_whiles : int * int;
+  ru_fsm_states : int * int;
+}
+
+val rollups : t -> rollup list
+(** Per-component aggregation, sorted by component name. *)
+
+(** {1 Rendering} *)
+
+val render : t -> string
+(** The human-readable report: summary line, per-view tables, rollups, and
+    the named uncovered items. *)
+
+val to_json : t -> string
+(** The same data as one JSON object (snake_case keys). *)
+
+(** {1 FSM register identification (shared with {!Spans})} *)
+
+val fsm_registers :
+  Ir.context -> Calyx_sim.Sim.t -> (string * string * int) list
+(** Generated schedule registers in the design, as [(instance path, cell
+    name, index into {!Calyx_sim.Sim.signals} of the register's [out]
+    port)]. A cell qualifies when it is a [std_reg] carrying the
+    ["generated"] attribute and named [fsm*] — the registers
+    {!Calyx.Compile_control} emits. *)

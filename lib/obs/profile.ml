@@ -212,9 +212,7 @@ let render ?ctx t =
                 qualified gs;
                 string_of_int gs.gs_active_cycles;
                 string_of_int gs.gs_activations;
-                Printf.sprintf "%5.1f%%"
-                  (100. *. float_of_int gs.gs_active_cycles
-                  /. float_of_int (max 1 t.cycles));
+                Tables.pct gs.gs_active_cycles t.cycles;
               ])
             stats
           |> List.cons [ "group"; "cycles"; "runs"; "share" ]
@@ -225,9 +223,7 @@ let render ?ctx t =
                 qualified r.lr_stat;
                 string_of_int r.lr_stat.gs_active_cycles;
                 string_of_int r.lr_stat.gs_activations;
-                Printf.sprintf "%5.1f%%"
-                  (100. *. float_of_int r.lr_stat.gs_active_cycles
-                  /. float_of_int (max 1 t.cycles));
+                Tables.pct r.lr_stat.gs_active_cycles t.cycles;
                 opt_str r.lr_derived;
                 opt_str r.lr_annotated;
                 (if r.lr_mismatch then "MISMATCH" else "ok");
@@ -237,21 +233,7 @@ let render ?ctx t =
                [ "group"; "cycles"; "runs"; "share"; "derived"; "static";
                  "latency" ]
     in
-    let ncols = List.length (List.hd rows) in
-    let width c =
-      List.fold_left (fun w row -> max w (String.length (List.nth row c))) 0
-        rows
-    in
-    let widths = List.init ncols width in
-    List.iter
-      (fun row ->
-        List.iteri
-          (fun c field ->
-            if c > 0 then Buffer.add_string buf "  ";
-            pf "%-*s" (List.nth widths c) field)
-          row;
-        Buffer.add_char buf '\n')
-      rows
+    Tables.add_table buf rows
   end;
   let cells = cell_stats t in
   if cells <> [] then begin

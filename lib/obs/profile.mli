@@ -27,8 +27,8 @@ val create : Calyx_sim.Sim.t -> t
     signal/instance tables, so create it after the design is built). *)
 
 val sink : t -> Calyx_sim.Sim.event -> unit
-(** Feed one cycle; install with [Sim.set_sink sim (Some (Profile.sink p))]
-    (compose with other sinks by wrapping). *)
+(** Feed one cycle; install with [Sim.add_sink sim (Profile.sink p)],
+    which composes with any other attached observer. *)
 
 (** {1 Accumulated data} *)
 
@@ -67,6 +67,13 @@ val fixpoint_max : t -> int
 (** The worst single cycle. *)
 
 (** {1 Latency attribution} *)
+
+val combinational_done : Ir.group -> bool
+(** Whether the group's done hole is driven by an unconditional non-zero
+    constant — such a group presents done combinationally and takes exactly
+    its derived latency; any other group registers done and pays one extra
+    observation cycle per activation. The coverage layer's critical-path
+    cross-check uses the same convention. *)
 
 type latency_row = {
   lr_stat : group_stat;

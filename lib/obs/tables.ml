@@ -1,0 +1,37 @@
+(* Column-aligned plain-text tables, shared by the profiler and coverage
+   reports. *)
+
+let add_table buf rows =
+  match rows with
+  | [] -> ()
+  | first :: _ ->
+      let ncols = List.length first in
+      let width c =
+        List.fold_left
+          (fun w row ->
+            match List.nth_opt row c with
+            | Some field -> max w (String.length field)
+            | None -> w)
+          0 rows
+      in
+      let widths = List.init ncols width in
+      List.iter
+        (fun row ->
+          List.iteri
+            (fun c field ->
+              if c > 0 then Buffer.add_string buf "  ";
+              if c = List.length row - 1 then Buffer.add_string buf field
+              else
+                Buffer.add_string buf
+                  (Printf.sprintf "%-*s" (List.nth widths c) field))
+            row;
+          Buffer.add_char buf '\n')
+        rows
+
+let render rows =
+  let buf = Buffer.create 256 in
+  add_table buf rows;
+  Buffer.contents buf
+
+let pct num den =
+  Printf.sprintf "%5.1f%%" (100. *. float_of_int num /. float_of_int (max 1 den))

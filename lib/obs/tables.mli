@@ -1,0 +1,14 @@
+(** Column-aligned plain-text tables, shared by every human-readable report
+    in this repository (the profiler, the coverage and critical-path
+    reports). Each row is a list of cells; columns are left-aligned and
+    padded to the widest cell, the last cell of each row unpadded. Rows may
+    have differing lengths. *)
+
+val add_table : Buffer.t -> string list list -> unit
+(** Append the rendered table (one trailing newline per row). *)
+
+val render : string list list -> string
+
+val pct : int -> int -> string
+(** [pct num den] formats [100 * num / den] as [" 42.0%"] (width 5, one
+    decimal); a zero denominator reads as denominator 1. *)

@@ -11,7 +11,7 @@
     {[
       let oc = open_out "trace.vcd" in
       let vcd = Vcd.create ~out:(output_string oc) sim in
-      Calyx_sim.Sim.set_sink sim (Some (Vcd.sink vcd));
+      Calyx_sim.Sim.add_sink sim (Vcd.sink vcd);
       ignore (Calyx_sim.Sim.run sim);
       Vcd.finish vcd;
       close_out oc

@@ -2,44 +2,130 @@ open Calyx
 open Ir
 
 exception Timeout of { budget : int; snapshot : string }
-exception Conflict of string
-exception Unstable of string
+exception Conflict of { cycle : int; message : string; snapshot : string }
+exception Unstable of { cycle : int; message : string; snapshot : string }
+
+(* Raised deep inside the combinational evaluator, where neither the cycle
+   number nor the status snapshot is in scope; [cycle] catches them at the
+   root and re-raises the public exceptions with full context. *)
+exception Conflict_msg of string
+exception Unstable_msg of string
+
+(* ------------------------------------------------------------------ *)
+(* Control events (the span-tracing interface of calyx_cover)          *)
+(* ------------------------------------------------------------------ *)
+
+type ctrl_phase = Ctrl_enter | Ctrl_exit | Ctrl_branch of bool
+
+type ctrl_event = {
+  ce_cycle : int;
+  ce_instance : string;
+  ce_node : int;
+  ce_phase : ctrl_phase;
+}
+
+type ctrl_sink = ctrl_event -> unit
 
 (* ------------------------------------------------------------------ *)
 (* Control interpreter state (the reference semantics of Section 3.4) *)
 (* ------------------------------------------------------------------ *)
 
+(* The control program, annotated with its Ir.control_preorder node ids so
+   the interpreter can attribute enter/exit/branch events. Built once per
+   instance at construction time. *)
+type ictrl =
+  | IEmpty
+  | IEnable of int * string
+  | ISeq of int * ictrl list
+  | IPar of int * ictrl list
+  | IIf of int * string option * port_ref * ictrl * ictrl
+  | IWhile of int * string option * port_ref * ictrl
+  | IInvoke of int * string
+
+(* Mirrors Ir.control_preorder: non-Empty nodes numbered in pre-order,
+   children left to right, then before else. *)
+let annotate ctrl =
+  let next = ref 0 in
+  let fresh () =
+    let id = !next in
+    incr next;
+    id
+  in
+  let rec go = function
+    | Empty -> IEmpty
+    | Enable (g, _) -> IEnable (fresh (), g)
+    | Seq (cs, _) ->
+        let id = fresh () in
+        ISeq (id, List.map go cs)
+    | Par (cs, _) ->
+        let id = fresh () in
+        IPar (id, List.map go cs)
+    | If { cond_port; cond_group; tbranch; fbranch; _ } ->
+        let id = fresh () in
+        let t = go tbranch in
+        let f = go fbranch in
+        IIf (id, cond_group, cond_port, t, f)
+    | While { cond_port; cond_group; body; _ } ->
+        let id = fresh () in
+        IWhile (id, cond_group, cond_port, go body)
+    | Invoke { cell; _ } -> IInvoke (fresh (), cell)
+  in
+  go ctrl
+
 type cstate =
   | CDone
-  | CEnable of string
-  | CSeq of cstate * control list  (* current child; remaining children *)
-  | CPar of cstate list
-  | CIfCond of string option * port_ref * control * control
-  | CWhileCond of string option * port_ref * control
-  | CWhileBody of cstate * string option * port_ref * control
+  | CEnable of int * string
+  | CSeq of int * cstate * ictrl list  (* current child; remaining children *)
+  | CPar of int * cstate list
+  | CIfCond of int * string option * port_ref * ictrl * ictrl
+  | CIfBody of int * cstate  (* keeps the if open while a branch runs *)
+  | CWhileCond of int * string option * port_ref * ictrl
+  | CWhileBody of int * cstate * string option * port_ref * ictrl
 
-let rec cstart = function
-  | Empty -> CDone
-  | Enable (g, _) -> CEnable g
-  | Seq (cs, _) -> start_seq cs
-  | Par (cs, _) -> (
-      match List.filter (fun s -> s <> CDone) (List.map cstart cs) with
-      | [] -> CDone
-      | ss -> CPar ss)
-  | If { cond_port; cond_group; tbranch; fbranch; _ } ->
-      CIfCond (cond_group, cond_port, tbranch, fbranch)
-  | While { cond_port; cond_group; body; _ } ->
-      CWhileCond (cond_group, cond_port, body)
-  | Invoke { cell; _ } ->
+(* [emit phase id] publishes a control event. The no-op instance serves the
+   speculative [cstart] calls made while evaluating the combinational
+   fixpoint (control actually starts only at the clock edge, in [commit]). *)
+let no_emit (_ : ctrl_phase) (_ : int) = ()
+
+let rec cstart ~emit = function
+  | IEmpty -> CDone
+  | IEnable (id, g) ->
+      emit Ctrl_enter id;
+      CEnable (id, g)
+  | ISeq (id, cs) ->
+      emit Ctrl_enter id;
+      seq_next ~emit id cs
+  | IPar (id, cs) -> (
+      emit Ctrl_enter id;
+      match
+        List.filter (fun s -> s <> CDone) (List.map (cstart ~emit) cs)
+      with
+      | [] ->
+          emit Ctrl_exit id;
+          CDone
+      | ss -> CPar (id, ss))
+  | IIf (id, cond_group, cond_port, t, f) ->
+      emit Ctrl_enter id;
+      CIfCond (id, cond_group, cond_port, t, f)
+  | IWhile (id, cond_group, cond_port, body) ->
+      emit Ctrl_enter id;
+      CWhileCond (id, cond_group, cond_port, body)
+  | IInvoke (_, cell) ->
       ir_error
         "simulator: invoke of %s is not directly executable; run the \
          compile-invoke pass first (Pipelines.compile does)"
         cell
 
-and start_seq = function
-  | [] -> CDone
+(* Start the next non-empty child of a seq; exhausting the list closes the
+   seq itself. *)
+and seq_next ~emit id = function
+  | [] ->
+      emit Ctrl_exit id;
+      CDone
   | c :: rest -> (
-      match cstart c with CDone -> start_seq rest | s -> CSeq (s, rest))
+      match cstart ~emit c with
+      | CDone -> seq_next ~emit id rest
+      | s -> CSeq (id, s, rest))
 
 (* Scheduled groups this cycle. The boolean marks whether the group's data
    assignments are gated off while its done hole reads 1 — this mirrors the
@@ -50,47 +136,77 @@ and start_seq = function
    assignments must be live in the cycle the condition port is read. *)
 let rec cactive acc = function
   | CDone -> acc
-  | CEnable g -> (g, true) :: acc
-  | CSeq (s, _) -> cactive acc s
-  | CPar ss -> List.fold_left cactive acc ss
-  | CIfCond (Some g, _, _, _) | CWhileCond (Some g, _, _) -> (g, false) :: acc
-  | CIfCond (None, _, _, _) | CWhileCond (None, _, _) -> acc
-  | CWhileBody (s, _, _, _) -> cactive acc s
+  | CEnable (_, g) -> (g, true) :: acc
+  | CSeq (_, s, _) -> cactive acc s
+  | CPar (_, ss) -> List.fold_left cactive acc ss
+  | CIfCond (_, Some g, _, _, _) | CWhileCond (_, Some g, _, _) ->
+      (g, false) :: acc
+  | CIfCond (_, None, _, _, _) | CWhileCond (_, None, _, _) -> acc
+  | CIfBody (_, s) -> cactive acc s
+  | CWhileBody (_, s, _, _, _) -> cactive acc s
 
 (* Advance the control state at a clock edge. [group_done] reports whether a
    group's done hole read 1 this cycle; [port_true] reads a condition port. *)
-let rec cadvance st ~group_done ~port_true =
+let rec cadvance ~emit st ~group_done ~port_true =
   match st with
   | CDone -> CDone
-  | CEnable g -> if group_done g then CDone else st
-  | CSeq (s, rest) -> (
-      match cadvance s ~group_done ~port_true with
-      | CDone -> start_seq rest
-      | s' -> CSeq (s', rest))
-  | CPar ss -> (
+  | CEnable (id, g) ->
+      if group_done g then begin
+        emit Ctrl_exit id;
+        CDone
+      end
+      else st
+  | CSeq (id, s, rest) -> (
+      match cadvance ~emit s ~group_done ~port_true with
+      | CDone -> seq_next ~emit id rest
+      | s' -> CSeq (id, s', rest))
+  | CPar (id, ss) -> (
       match
         List.filter
           (fun s -> s <> CDone)
-          (List.map (cadvance ~group_done ~port_true) ss)
+          (List.map (fun s -> cadvance ~emit s ~group_done ~port_true) ss)
       with
-      | [] -> CDone
-      | ss' -> CPar ss')
-  | CIfCond (cond, port, t, f) ->
-      let resolved = match cond with None -> true | Some g -> group_done g in
-      if resolved then if port_true port then cstart t else cstart f else st
-  | CWhileCond (cond, port, body) ->
+      | [] ->
+          emit Ctrl_exit id;
+          CDone
+      | ss' -> CPar (id, ss'))
+  | CIfCond (id, cond, port, t, f) ->
       let resolved = match cond with None -> true | Some g -> group_done g in
       if not resolved then st
-      else if not (port_true port) then CDone
       else begin
-        match cstart body with
-        | CDone -> st (* empty body: re-evaluate the condition next cycle *)
-        | s -> CWhileBody (s, cond, port, body)
+        let taken = port_true port in
+        emit (Ctrl_branch taken) id;
+        match cstart ~emit (if taken then t else f) with
+        | CDone ->
+            emit Ctrl_exit id;
+            CDone
+        | s -> CIfBody (id, s)
       end
-  | CWhileBody (s, cond, port, body) -> (
-      match cadvance s ~group_done ~port_true with
-      | CDone -> CWhileCond (cond, port, body)
-      | s' -> CWhileBody (s', cond, port, body))
+  | CIfBody (id, s) -> (
+      match cadvance ~emit s ~group_done ~port_true with
+      | CDone ->
+          emit Ctrl_exit id;
+          CDone
+      | s' -> CIfBody (id, s'))
+  | CWhileCond (id, cond, port, body) ->
+      let resolved = match cond with None -> true | Some g -> group_done g in
+      if not resolved then st
+      else begin
+        let truth = port_true port in
+        emit (Ctrl_branch truth) id;
+        if not truth then begin
+          emit Ctrl_exit id;
+          CDone
+        end
+        else
+          match cstart ~emit body with
+          | CDone -> st (* empty body: re-evaluate the condition next cycle *)
+          | s -> CWhileBody (id, s, cond, port, body)
+      end
+  | CWhileBody (id, s, cond, port, body) -> (
+      match cadvance ~emit s ~group_done ~port_true with
+      | CDone -> CWhileCond (id, cond, port, body)
+      | s' -> CWhileBody (id, s', cond, port, body))
 
 (* ------------------------------------------------------------------ *)
 (* Compiled per-instance representation                                *)
@@ -112,6 +228,7 @@ type prim_inst = {
 
 type instance = {
   i_comp : component;
+  i_path : string;  (* dotted instance path from the entrypoint; root is "" *)
   i_slots : int;  (* number of interned ports *)
   i_zeros : Bitvec.t array;  (* per-slot zero values (template) *)
   mutable i_env : Bitvec.t array;
@@ -127,6 +244,7 @@ type instance = {
   i_output_slots : (string * int) list;
   i_port_ids : (port_ref, int) Hashtbl.t;
   i_structured : bool;  (* control program is non-empty *)
+  i_ictrl : ictrl;  (* control program annotated with preorder node ids *)
   mutable i_ctrl : cstate;
   mutable i_running : bool;
   mutable i_done_reg : bool;
@@ -146,7 +264,7 @@ and child = {
 let max_fixpoint_iters = 1000
 
 let rec build ?(externs : (string * (unit -> Prim_state.t)) list = [])
-    (ctx : context) (comp : component) : instance =
+    ~(path : string) (ctx : context) (comp : component) : instance =
   let port_ids : (port_ref, int) Hashtbl.t = Hashtbl.create 64 in
   let widths = ref [] in
   let count = ref 0 in
@@ -285,7 +403,10 @@ let rec build ?(externs : (string * (unit -> Prim_state.t)) list = [])
                 :: !prims)
       | Comp name ->
           let sub = find_component ctx name in
-          let inst = build ~externs ctx sub in
+          let child_path =
+            if path = "" then c.cell_name else path ^ "." ^ c.cell_name
+          in
+          let inst = build ~externs ~path:child_path ctx sub in
           let input_map =
             List.map
               (fun (p, slot) -> (id (Cell_port (c.cell_name, p)), slot))
@@ -331,6 +452,7 @@ let rec build ?(externs : (string * (unit -> Prim_state.t)) list = [])
   in
   {
     i_comp = comp;
+    i_path = path;
     i_slots = slots;
     i_zeros = zeros;
     i_env = Array.copy zeros;
@@ -345,6 +467,7 @@ let rec build ?(externs : (string * (unit -> Prim_state.t)) list = [])
     i_output_slots = output_slots;
     i_port_ids = port_ids;
     i_structured = comp.control <> Empty;
+    i_ictrl = annotate comp.control;
     i_ctrl = CDone;
     i_running = false;
     i_done_reg = false;
@@ -369,7 +492,7 @@ let go_slot inst = List.assoc "go" inst.i_input_slots
 let effective_ctrl inst ~go =
   if not inst.i_structured then CDone
   else if inst.i_running then inst.i_ctrl
-  else if go then cstart inst.i_comp.control
+  else if go then cstart ~emit:no_emit inst.i_ictrl
   else CDone
 
 let active_groups inst ~go = cactive [] (effective_ctrl inst ~go)
@@ -383,7 +506,7 @@ let rec eval_comb inst (inputs : Bitvec.t array) =
     incr iters;
     if !iters > max_fixpoint_iters then
       raise
-        (Unstable
+        (Unstable_msg
            (Printf.sprintf "component %s: combinational fixpoint diverged"
               inst.i_comp.comp_name));
     changed := false;
@@ -471,7 +594,7 @@ let rec eval_comb inst (inputs : Bitvec.t array) =
       match Hashtbl.find_opt driver ca.ca_dst with
       | Some (v', text') when not (Bitvec.equal v v') ->
           raise
-            (Conflict
+            (Conflict_msg
                (Printf.sprintf
                   "component %s: conflicting drivers in the same cycle:\n  %s\n  %s"
                   inst.i_comp.comp_name text' ca.ca_text))
@@ -496,7 +619,7 @@ let rec eval_comb inst (inputs : Bitvec.t array) =
 (* Clock edge                                                          *)
 (* ------------------------------------------------------------------ *)
 
-let rec commit inst =
+let rec commit ~now ~csink inst =
   inst.i_iters_cycle <- 0;
   let env = inst.i_env in
   (* Primitive state updates. *)
@@ -505,15 +628,40 @@ let rec commit inst =
     inst.i_prims;
   (* Child updates (their env is consistent with the converged parent env). *)
   Array.iter (fun (_, ch) ->
-      commit ch.c_inst;
+      commit ~now ~csink ch.c_inst;
       ch.c_last_inputs <- None)
     inst.i_children;
   (* Control lifecycle. *)
   if inst.i_structured then begin
+    let emit_at cycle =
+      match csink with
+      | None -> no_emit
+      | Some f ->
+          fun phase id ->
+            f
+              {
+                ce_cycle = cycle;
+                ce_instance = inst.i_path;
+                ce_node = id;
+                ce_phase = phase;
+              }
+    in
+    (* Control that starts because [go] rose was already active during this
+       cycle (effective_ctrl runs it speculatively), so its enters carry
+       [now]. A node reached by advancement only begins executing next
+       cycle: its enter is stamped [now + 1], while the exits and branch
+       resolutions that caused the advancement observe this cycle. *)
+    let emit_start = emit_at now in
+    let emit_next = emit_at (now + 1) in
+    let emit_adv phase id =
+      match phase with
+      | Ctrl_enter -> emit_next phase id
+      | Ctrl_exit | Ctrl_branch _ -> emit_start phase id
+    in
     let go = Bitvec.is_true env.(go_slot inst) in
     if (not inst.i_running) && go then begin
       inst.i_running <- true;
-      inst.i_ctrl <- cstart inst.i_comp.control
+      inst.i_ctrl <- cstart ~emit:emit_start inst.i_ictrl
     end;
     if inst.i_running then begin
       let group_done g =
@@ -522,7 +670,7 @@ let rec commit inst =
       let port_true p =
         Bitvec.is_true env.(Hashtbl.find inst.i_port_ids p)
       in
-      inst.i_ctrl <- cadvance inst.i_ctrl ~group_done ~port_true;
+      inst.i_ctrl <- cadvance ~emit:emit_adv inst.i_ctrl ~group_done ~port_true;
       if inst.i_ctrl = CDone then begin
         inst.i_running <- false;
         inst.i_done_reg <- true
@@ -567,13 +715,14 @@ type t = {
   mutable finished : bool;
   mutable cycles : int;  (* clock edges since creation *)
   mutable sink : sink option;
+  mutable ctrl_sink : ctrl_sink option;
   mutable probes : (signal array * (instance * int) array) option;
       (* built on demand: flattened signal metadata + where to read each *)
 }
 
 let create ?externs ctx =
   let comp = entry ctx in
-  let root = build ?externs ctx comp in
+  let root = build ?externs ~path:"" ctx comp in
   let inputs =
     Array.of_list
       (List.map
@@ -582,7 +731,15 @@ let create ?externs ctx =
              (List.find (fun pd -> pd.pd_name = name) comp.inputs).pd_width)
          root.i_input_slots)
   in
-  { root; inputs; finished = false; cycles = 0; sink = None; probes = None }
+  {
+    root;
+    inputs;
+    finished = false;
+    cycles = 0;
+    sink = None;
+    ctrl_sink = None;
+    probes = None;
+  }
 
 (* Flattened views of the instance hierarchy. Instance paths are dotted
    cell names from the entrypoint (the root's path is ""). *)
@@ -649,6 +806,32 @@ let set_sink t sink =
      than the rest. *)
   if sink <> None then ignore (probes t)
 
+(* Compose with whatever sink is already installed, so independent
+   observers (a VCD tracer, a profiler, a coverage collector) can attach to
+   the same simulation without knowing about each other. Installed sinks
+   run in attachment order. *)
+let add_sink t sink =
+  match t.sink with
+  | None -> set_sink t (Some sink)
+  | Some prev ->
+      set_sink t
+        (Some
+           (fun ev ->
+             prev ev;
+             sink ev))
+
+let set_ctrl_sink t sink = t.ctrl_sink <- sink
+
+let add_ctrl_sink t sink =
+  t.ctrl_sink <-
+    (match t.ctrl_sink with
+    | None -> Some sink
+    | Some prev ->
+        Some
+          (fun ev ->
+            prev ev;
+            sink ev))
+
 let cycles_elapsed t = t.cycles
 
 let capture_values t =
@@ -686,16 +869,17 @@ let rec total_iters inst =
 
 let rec cstate_to_string = function
   | CDone -> "done"
-  | CEnable g -> g
-  | CSeq (s, rest) -> (
+  | CEnable (_, g) -> g
+  | CSeq (_, s, rest) -> (
       match List.length rest with
       | 0 -> Printf.sprintf "seq(%s)" (cstate_to_string s)
       | n -> Printf.sprintf "seq(%s; +%d more)" (cstate_to_string s) n)
-  | CPar ss ->
+  | CPar (_, ss) ->
       "par{" ^ String.concat " | " (List.map cstate_to_string ss) ^ "}"
-  | CIfCond (_, p, _, _) -> Format.asprintf "if(%a?)" pp_port_ref p
-  | CWhileCond (_, p, _) -> Format.asprintf "while(%a?)" pp_port_ref p
-  | CWhileBody (s, _, p, _) ->
+  | CIfCond (_, _, p, _, _) -> Format.asprintf "if(%a?)" pp_port_ref p
+  | CIfBody (_, s) -> Printf.sprintf "if{%s}" (cstate_to_string s)
+  | CWhileCond (_, _, p, _) -> Format.asprintf "while(%a?)" pp_port_ref p
+  | CWhileBody (_, s, _, p, _) ->
       Format.asprintf "while(%a){%s}" pp_port_ref p (cstate_to_string s)
 
 let status t =
@@ -775,7 +959,11 @@ let read_output t name =
   | None -> ir_error "no output port %s" name
 
 let cycle t =
-  eval_comb t.root t.inputs;
+  (try eval_comb t.root t.inputs with
+  | Conflict_msg message ->
+      raise (Conflict { cycle = t.cycles; message; snapshot = status t })
+  | Unstable_msg message ->
+      raise (Unstable { cycle = t.cycles; message; snapshot = status t }));
   (* Observation point: the combinational fixpoint has settled, state has
      not yet committed — the values "on the wires" during this cycle. *)
   (match t.sink with
@@ -793,7 +981,7 @@ let cycle t =
     && Bitvec.is_true
          t.root.i_env.(List.assoc "done" t.root.i_output_slots)
   in
-  commit t.root;
+  commit ~now:t.cycles ~csink:t.ctrl_sink t.root;
   let structured_done =
     t.root.i_structured && t.root.i_done_reg
   in

@@ -28,12 +28,15 @@ exception Timeout of { budget : int; snapshot : string }
     entrypoint's [done] wiring), so a hang is debuggable from the error
     alone. *)
 
-exception Conflict of string
+exception Conflict of { cycle : int; message : string; snapshot : string }
 (** Two active assignments drove the same port with different values in the
-    same cycle — undefined behaviour per the paper, reported as an error. *)
+    same cycle — undefined behaviour per the paper, reported as an error.
+    Carries the 0-based cycle at which the conflict occurred and a
+    {!status} snapshot taken at that moment, like {!Timeout}. *)
 
-exception Unstable of string
-(** The combinational fixpoint did not converge (combinational cycle). *)
+exception Unstable of { cycle : int; message : string; snapshot : string }
+(** The combinational fixpoint did not converge (combinational cycle).
+    Carries the cycle number and a {!status} snapshot, like {!Conflict}. *)
 
 val create :
   ?externs:(string * (unit -> Prim_state.t)) list -> Ir.context -> t
@@ -111,8 +114,48 @@ val instances : t -> (string * string) list
 (** All instances as [(path, component name)]; the root is [("", entry)]. *)
 
 val set_sink : t -> sink option -> unit
-(** Install or remove the per-cycle observer. Multiple observers compose
-    by wrapping: [set_sink t (Some (fun ev -> a ev; b ev))]. *)
+(** Install or remove the per-cycle observer, replacing any existing one. *)
+
+val add_sink : t -> sink -> unit
+(** Attach an observer {e in addition to} any already installed; sinks run
+    in attachment order. This is how independent observers (a VCD tracer, a
+    profiler, a coverage collector) share one simulation. *)
+
+(** {1 Control events (span tracing)}
+
+    The reference interpreter also publishes the lifecycle of every control
+    statement it executes: {!Ctrl_enter} when a statement becomes active,
+    {!Ctrl_exit} at the last cycle it is active (both inclusive, so a
+    statement's span covers [enter..exit] and lasts [exit - enter + 1]
+    cycles), and [Ctrl_branch b] each time an [if] resolves its condition
+    (the taken branch) or a [while] evaluates its condition (one [true] per
+    iteration, then one [false]). A [while] statement stays open across
+    iterations: one span per activation.
+
+    Statements are identified by the id {!Ir.control_preorder} assigns them
+    within their component; [ce_instance] locates the component instance by
+    its dotted path (the root is [""]). Flat (fully compiled) programs have
+    no control tree and emit no control events — their schedule lives in
+    FSM registers, which the coverage layer reads via the ordinary value
+    sink instead. *)
+
+type ctrl_phase = Ctrl_enter | Ctrl_exit | Ctrl_branch of bool
+
+type ctrl_event = {
+  ce_cycle : int;
+  ce_instance : string;  (** Instance path of the enclosing component. *)
+  ce_node : int;  (** {!Ir.control_preorder} id within that component. *)
+  ce_phase : ctrl_phase;
+}
+
+type ctrl_sink = ctrl_event -> unit
+
+val set_ctrl_sink : t -> ctrl_sink option -> unit
+(** Install or remove the control-event observer, replacing any existing
+    one. *)
+
+val add_ctrl_sink : t -> ctrl_sink -> unit
+(** Attach a control-event observer in addition to any already installed. *)
 
 val set_input : t -> string -> Bitvec.t -> unit
 (** Set a top-level input port value (held until changed). *)

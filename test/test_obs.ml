@@ -24,7 +24,7 @@ let run_profiled ctx =
   let ctx = runnable ctx in
   let sim = Sim.create ctx in
   let p = Calyx_obs.Profile.create sim in
-  Sim.set_sink sim (Some (Calyx_obs.Profile.sink p));
+  Sim.add_sink sim (Calyx_obs.Profile.sink p);
   let cycles = Sim.run sim in
   (ctx, sim, p, cycles)
 
@@ -155,7 +155,7 @@ let test_golden_vcd () =
   let sim = Sim.create (tiny ()) in
   let buf = Buffer.create 256 in
   let vcd = Calyx_obs.Vcd.create ~out:(Buffer.add_string buf) sim in
-  Sim.set_sink sim (Some (Calyx_obs.Vcd.sink vcd));
+  Sim.add_sink sim (Calyx_obs.Vcd.sink vcd);
   ignore (Sim.run sim);
   Calyx_obs.Vcd.finish vcd;
   Calyx_obs.Vcd.finish vcd (* idempotent *);
@@ -168,7 +168,7 @@ let test_vcd_wellformed_on_lowered () =
   let sim = Sim.create lowered in
   let buf = Buffer.create 1024 in
   let vcd = Calyx_obs.Vcd.create ~out:(Buffer.add_string buf) sim in
-  Sim.set_sink sim (Some (Calyx_obs.Vcd.sink vcd));
+  Sim.add_sink sim (Calyx_obs.Vcd.sink vcd);
   ignore (Sim.run sim);
   Calyx_obs.Vcd.finish vcd;
   let text = Buffer.contents buf in
@@ -253,11 +253,9 @@ let run_traced ctx =
   let buf = Buffer.create 1024 in
   let vcd = Calyx_obs.Vcd.create ~out:(Buffer.add_string buf) sim in
   let p = Calyx_obs.Profile.create sim in
-  Sim.set_sink sim
-    (Some
-       (fun ev ->
-         Calyx_obs.Vcd.sink vcd ev;
-         Calyx_obs.Profile.sink p ev));
+  (* Attached separately — add_sink composes them. *)
+  Sim.add_sink sim (Calyx_obs.Vcd.sink vcd);
+  Sim.add_sink sim (Calyx_obs.Profile.sink p);
   let cycles = Sim.run ~max_cycles:200_000 sim in
   Calyx_obs.Vcd.finish vcd;
   (cycles, sim, p)

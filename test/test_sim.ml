@@ -10,6 +10,11 @@ let run_ctx ?max_cycles ctx =
 
 let reg_int sim path = Bitvec.to_int (Calyx_sim.Sim.read_register sim path)
 
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
 let test_seq_writes () =
   let sim, cycles = run_ctx (Progs.two_writes_seq ()) in
   (* Each register write takes two latency-insensitive cycles. *)
@@ -79,20 +84,25 @@ let test_mult_pipe () =
 let test_conflict_detected () =
   let ctx = Progs.conflict_program () in
   let sim = Calyx_sim.Sim.create ctx in
-  Alcotest.(check bool) "raises Conflict" true
-    (try
-       ignore (Calyx_sim.Sim.run sim);
-       false
-     with Calyx_sim.Sim.Conflict _ -> true)
+  match Calyx_sim.Sim.run sim with
+  | (_ : int) -> Alcotest.fail "expected Conflict"
+  | exception Calyx_sim.Sim.Conflict { cycle; message; snapshot } ->
+      (* Both drivers are live from the first cycle, and the payload names
+         the fought-over port and carries a status snapshot like Timeout. *)
+      Alcotest.(check int) "conflict cycle" 0 cycle;
+      Alcotest.(check bool) "message names the port" true
+        (contains ~needle:"x.in" message);
+      Alcotest.(check bool) "snapshot present" true (snapshot <> "")
 
 let test_unstable_detected () =
   let ctx = Progs.unstable_program () in
   let sim = Calyx_sim.Sim.create ctx in
-  Alcotest.(check bool) "raises Unstable" true
-    (try
-       ignore (Calyx_sim.Sim.run sim);
-       false
-     with Calyx_sim.Sim.Unstable _ -> true)
+  match Calyx_sim.Sim.run sim with
+  | (_ : int) -> Alcotest.fail "expected Unstable"
+  | exception Calyx_sim.Sim.Unstable { cycle; message; snapshot } ->
+      Alcotest.(check int) "unstable cycle" 0 cycle;
+      Alcotest.(check bool) "message non-empty" true (message <> "");
+      Alcotest.(check bool) "snapshot present" true (snapshot <> "")
 
 let test_timeout () =
   (* A group whose done never rises. *)
@@ -116,17 +126,10 @@ let test_timeout () =
       Alcotest.(check int) "budget" 100 budget;
       (* The snapshot names the stuck group and the done wiring it is
          waiting on. *)
-      let contains needle =
-        let nl = String.length needle and hl = String.length snapshot in
-        let rec go i =
-          i + nl <= hl && (String.sub snapshot i nl = needle || go (i + 1))
-        in
-        go 0
-      in
       Alcotest.(check bool) "snapshot mentions stuck group" true
-        (contains "stuck");
+        (contains ~needle:"stuck" snapshot);
       Alcotest.(check bool) "snapshot shows the done wiring" true
-        (contains "r.done")
+        (contains ~needle:"r.done" snapshot)
 
 let test_empty_control_times_out_without_done () =
   (* An empty control program finishes immediately. *)
@@ -315,6 +318,33 @@ component main(go: 1) -> (done: 1) {
         (Bitvec.to_int (Calyx_sim.Sim.read_register sim "r")))
     [ ctx; Pipelines.compile ctx ]
 
+let test_status_lifecycle () =
+  let sim = Calyx_sim.Sim.create (Progs.two_writes_seq ()) in
+  Alcotest.(check bool) "idle before run" true
+    (contains ~needle:"idle" (Calyx_sim.Sim.status sim));
+  ignore (Calyx_sim.Sim.run sim);
+  Alcotest.(check bool) "presenting done after run" true
+    (contains ~needle:"presenting done" (Calyx_sim.Sim.status sim))
+
+let test_add_sink_composes () =
+  (* add_sink composes with whatever is installed: both observers see every
+     cycle, in attachment order. *)
+  let sim = Calyx_sim.Sim.create (Progs.two_writes_seq ()) in
+  let calls = ref [] in
+  Calyx_sim.Sim.set_sink sim
+    (Some (fun ev -> calls := ("a", ev.Calyx_sim.Sim.ev_cycle) :: !calls));
+  Calyx_sim.Sim.add_sink sim (fun ev ->
+      calls := ("b", ev.Calyx_sim.Sim.ev_cycle) :: !calls);
+  let cycles = Calyx_sim.Sim.run sim in
+  let log = List.rev !calls in
+  Alcotest.(check int) "both sinks saw every cycle" (2 * cycles)
+    (List.length log);
+  List.iteri
+    (fun i (tag, cyc) ->
+      Alcotest.(check string) "attachment order" (if i mod 2 = 0 then "a" else "b") tag;
+      Alcotest.(check int) "cycle stamp" (i / 2) cyc)
+    log
+
 let test_sqrt_prim () =
   Alcotest.(check int64) "isqrt 0" 0L (Calyx_sim.Prim_state.isqrt 0L);
   Alcotest.(check int64) "isqrt 1" 1L (Calyx_sim.Prim_state.isqrt 1L);
@@ -345,6 +375,8 @@ let () =
           Alcotest.test_case "pipelined multiplier" `Quick test_mult_pipe;
           Alcotest.test_case "empty control" `Quick
             test_empty_control_times_out_without_done;
+          Alcotest.test_case "status lifecycle" `Quick test_status_lifecycle;
+          Alcotest.test_case "add_sink composes" `Quick test_add_sink_composes;
         ] );
       ( "errors",
         [
