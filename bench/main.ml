@@ -62,8 +62,13 @@ end
    change and fails the run. *)
 module Regress = struct
   let time_key k =
+    (* "_s" = wall-clock seconds; "_x" = ratios derived from wall clock
+       (the engine experiment's speedups); both vary run to run. *)
     k = "ns_per_run"
-    || (String.length k >= 2 && String.sub k (String.length k - 2) 2 = "_s")
+    || String.length k >= 2
+       &&
+       let suffix = String.sub k (String.length k - 2) 2 in
+       suffix = "_s" || suffix = "_x"
 
   (* (label, value) pairs for an experiment object: summary fields plus
      per-row numeric fields; booleans (the "correct" checks) count as 0/1
@@ -569,6 +574,91 @@ let stats () =
   Record.summary "systolic8_emit_s" dt_sys_emit
 
 (* ------------------------------------------------------------------ *)
+(* Simulator engines: dense fixpoint vs dirty-set scheduled            *)
+(* ------------------------------------------------------------------ *)
+
+(* Wall-clock comparison of the simulator's two evaluation engines on
+   identical designs. Cycle counts must match exactly (the differential
+   fuzz suite proves observational equivalence in depth; the check here
+   guards the benchmark itself). The "_s" and "_x" fields are wall-clock
+   derived and excluded from regression; the cycle counts and the
+   mismatch counter are deterministic and compared. *)
+let best_of_3 f =
+  let b = ref infinity and res = ref None in
+  for _ = 1 to 3 do
+    let r, dt = time f in
+    if dt < !b then b := dt;
+    res := Some r
+  done;
+  (Option.get !res, !b)
+
+let engines () =
+  header "Simulator engines: dense fixpoint vs dirty-set scheduled";
+  Printf.printf "%-14s %10s %10s %10s %10s %9s %6s\n" "design" "fix-cyc"
+    "sched-cyc" "fix-s" "sched-s" "speedup" "match";
+  let speedups = ref [] and systolic8 = ref nan and mismatches = ref 0 in
+  let report name (fc, ft) (sc, st) =
+    let s = ft /. st in
+    if fc <> sc then incr mismatches;
+    if name = "systolic-8x8" then systolic8 := s;
+    speedups := s :: !speedups;
+    Printf.printf "%-14s %10d %10d %10.4f %10.4f %8.2fx %6s\n" name fc sc ft
+      st s
+      (if fc = sc then "ok" else "FAIL");
+    Record.row
+      [
+        ("design", Json.str name);
+        ("fixpoint_cycles", Json.int fc);
+        ("scheduled_cycles", Json.int sc);
+        ("cycles_equal", Json.bool (fc = sc));
+        ("fixpoint_s", Json.float ft);
+        ("scheduled_s", Json.float st);
+        ("speedup_x", Json.float s);
+      ]
+  in
+  List.iter
+    (fun n ->
+      let ctx = systolic_ctx n Pipelines.insensitive_config in
+      let run engine () =
+        let sim = Calyx_sim.Sim.create ~engine ctx in
+        for r = 0 to n - 1 do
+          Calyx_sim.Sim.write_memory_ints sim (Systolic.left_memory r)
+            ~width:32
+            (List.init n (fun k -> (((r * 3) + k) mod 9) + 1))
+        done;
+        for c = 0 to n - 1 do
+          Calyx_sim.Sim.write_memory_ints sim (Systolic.top_memory c)
+            ~width:32
+            (List.init n (fun k -> (((k * 5) + c) mod 7) + 1))
+        done;
+        Calyx_sim.Sim.run sim
+      in
+      report
+        (Printf.sprintf "systolic-%dx%d" n n)
+        (best_of_3 (run `Fixpoint))
+        (best_of_3 (run `Scheduled)))
+    [ 4; 8 ];
+  List.iter
+    (fun name ->
+      let k = Polybench.Kernels.find name in
+      let prog = Polybench.Harness.program k ~unrolled:false in
+      let lowered = Pipelines.compile (Dahlia.To_calyx.compile prog) in
+      let run engine () =
+        let cycles, bad = Polybench.Harness.execute ~engine k prog lowered in
+        assert (bad = []);
+        cycles
+      in
+      report name (best_of_3 (run `Fixpoint)) (best_of_3 (run `Scheduled)))
+    [ "gemm"; "gemver"; "atax" ];
+  Printf.printf
+    "geomean speedup %.2fx, systolic-8x8 %.2fx (target: >= 2x), %d cycle \
+     mismatches\n"
+    (geomean !speedups) !systolic8 !mismatches;
+  Record.summary "cycle_mismatches" (float_of_int !mismatches);
+  Record.summary "geomean_speedup_x" (geomean !speedups);
+  Record.summary "systolic8_speedup_x" !systolic8
+
+(* ------------------------------------------------------------------ *)
 (* Coverage of the generated designs (calyx_cover)                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -699,6 +789,7 @@ let experiments =
     ("fig9b", fig9b);
     ("fig9c", fig9c);
     ("stats", stats);
+    ("engine", engines);
     ("cover", cover);
     ("perf", perf);
   ]

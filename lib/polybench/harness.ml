@@ -37,8 +37,8 @@ let verify (k : Kernels.kernel) prog sim =
   in
   mismatches
 
-let execute (k : Kernels.kernel) prog ctx =
-  let sim = Calyx_sim.Sim.create ctx in
+let execute ?(engine = `Fixpoint) (k : Kernels.kernel) prog ctx =
+  let sim = Calyx_sim.Sim.create ~engine ctx in
   List.iter
     (fun (name, values) -> Data.load prog sim name values)
     k.Kernels.inputs;
@@ -46,11 +46,11 @@ let execute (k : Kernels.kernel) prog ctx =
   let mismatches = verify k prog sim in
   (cycles, mismatches)
 
-let run ?(config = Calyx.Pipelines.default_config) k ~unrolled =
+let run ?(config = Calyx.Pipelines.default_config) ?engine k ~unrolled =
   let prog = program k ~unrolled in
   let ctx = Dahlia.To_calyx.compile prog in
   let lowered = Calyx.Pipelines.compile ~config ctx in
-  let cycles, mismatches = execute k prog lowered in
+  let cycles, mismatches = execute ?engine k prog lowered in
   {
     cycles;
     correct = mismatches = [];
@@ -58,10 +58,10 @@ let run ?(config = Calyx.Pipelines.default_config) k ~unrolled =
     area = Calyx_synth.Area.context_usage lowered;
   }
 
-let run_interp k ~unrolled =
+let run_interp ?engine k ~unrolled =
   let prog = program k ~unrolled in
   let ctx = Dahlia.To_calyx.compile prog in
-  let cycles, mismatches = execute k prog ctx in
+  let cycles, mismatches = execute ?engine k prog ctx in
   {
     cycles;
     correct = mismatches = [];

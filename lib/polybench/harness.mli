@@ -20,10 +20,26 @@ val program : Kernels.kernel -> unrolled:bool -> Dahlia.Ast.prog
 val build : Kernels.kernel -> unrolled:bool -> Calyx.Ir.context
 (** The structured Calyx program (before the compilation pipeline). *)
 
-val run :
-  ?config:Calyx.Pipelines.config -> Kernels.kernel -> unrolled:bool -> result
-(** Compile (default: all optimizations), simulate, verify. *)
+val execute :
+  ?engine:Calyx_sim.Sim.engine ->
+  Kernels.kernel ->
+  Dahlia.Ast.prog ->
+  Calyx.Ir.context ->
+  int * string list
+(** Simulate an already-compiled [ctx]: load the kernel's inputs, run to
+    completion, verify outputs. Returns the cycle count and the names of
+    mismatching output memories. Lets benches time simulation alone. *)
 
-val run_interp : Kernels.kernel -> unrolled:bool -> result
+val run :
+  ?config:Calyx.Pipelines.config ->
+  ?engine:Calyx_sim.Sim.engine ->
+  Kernels.kernel ->
+  unrolled:bool ->
+  result
+(** Compile (default: all optimizations), simulate, verify. [engine]
+    selects the simulator's evaluation engine (default [`Fixpoint]). *)
+
+val run_interp :
+  ?engine:Calyx_sim.Sim.engine -> Kernels.kernel -> unrolled:bool -> result
 (** Execute with the reference interpreter instead of compiling (area is
     measured on the structured program). *)

@@ -23,8 +23,18 @@ val outputs : t -> read:(string -> Bitvec.t) -> (string * Bitvec.t) list
 (** Current output port values as a function of the input ports (via
     [read]) and the internal state. Pure with respect to the state. *)
 
-val commit : t -> read:(string -> Bitvec.t) -> unit
-(** Clock edge: update internal state from the input ports. *)
+val commit : t -> read:(string -> Bitvec.t) -> bool
+(** Clock edge: update internal state from the input ports. Returns whether
+    the primitive's outputs may differ from before the edge (conservative:
+    [true] may be a false positive, [false] never is) — the scheduled
+    engine's commit-time invalidation hook. *)
+
+val comb_inputs : t -> string list option
+(** Input ports that an output of this primitive can depend on within the
+    same cycle ([None] = assume all of them). Registered primitives report
+    [Some []]; memories report their address ports. Lets the dependency
+    graph exclude through-register paths that would otherwise look like
+    combinational cycles. *)
 
 val reset : t -> unit
 (** Clear transient state (done flags, pipeline counters); keeps memory and

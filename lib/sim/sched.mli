@@ -1,0 +1,54 @@
+(** Static evaluation schedule over a slot-dependency graph.
+
+    The scheduled simulation engine's core: nodes (assignments, primitives,
+    child components, group go holes) declare which value slots they read
+    and write; {!build} condenses the induced dependency graph into
+    strongly connected components and levelizes the condensation. {!run}
+    then evaluates only dirty nodes in level order — acyclic nodes at most
+    once per settle, members of a cyclic component on a worklist until they
+    stop re-marking each other.
+
+    The scheduler is value-agnostic: the caller's [eval] callback does the
+    computation and calls {!mark_slot} whenever it changes a slot, which
+    enqueues that slot's readers. Dirt persists across {!run} calls, so the
+    clock-edge commit can invalidate exactly the nodes whose inputs changed
+    (a register that latched, a child whose control advanced) and the next
+    cycle's settle costs O(nodes touched) rather than
+    O(iterations x all slots). *)
+
+type t
+
+val build : slots:int -> nodes:(int list * int list) array -> t
+(** [build ~slots ~nodes] where [nodes.(k) = (reads, writes)] lists the
+    slot ids node [k] reads and writes. Slot ids must be [< slots]. *)
+
+val mark_node : t -> int -> unit
+(** Enqueue a node for re-evaluation (idempotent while already queued). *)
+
+val mark_slot : t -> int -> unit
+(** Enqueue every reader of a slot — the caller's change-propagation hook. *)
+
+val mark_all : t -> unit
+
+exception Diverged
+(** A cyclic component exceeded its evaluation budget — the scheduled
+    analogue of a combinational fixpoint that does not converge. *)
+
+val run : t -> eval:(int -> unit) -> max_passes:int -> int
+(** Evaluate dirty nodes in level order until none remain; returns the
+    number of [eval] calls made. A cyclic component may evaluate each of
+    its members at most [max_passes] times (mirroring the reference
+    engine's iteration cap) before {!Diverged} is raised. *)
+
+(** {1 Introspection (for tests and stats)} *)
+
+val node_count : t -> int
+
+val level : t -> int -> int
+(** The topological level of a node's component; every node reading a slot
+    this node writes sits at a strictly higher level (unless they share a
+    cyclic component). *)
+
+val cyclic : t -> int -> bool
+(** Whether the node belongs to a genuinely cyclic component (the worklist
+    remainder) rather than the levelized DAG. *)

@@ -212,11 +212,62 @@ let rec cadvance ~emit st ~group_done ~port_true =
 (* Compiled per-instance representation                                *)
 (* ------------------------------------------------------------------ *)
 
+type engine = [ `Fixpoint | `Scheduled ]
+
 type compiled_assign = {
   ca_dst : int;
   ca_guard : Bitvec.t array -> bool;
   ca_src : Bitvec.t array -> Bitvec.t;
+  ca_reads : int list;  (* slots the guard and source read *)
   ca_text : string;  (* for conflict diagnostics *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Scheduled-engine state (see Sched for the graph machinery)          *)
+(* ------------------------------------------------------------------ *)
+
+(* One graph node per primitive, child instance, group go hole, and
+   assignment. Prim/child nodes push their outputs into the per-slot [base]
+   value; assignment nodes compute liveness + value; go nodes compute the
+   go hole from the active-entry list. *)
+type snode =
+  | NPrim of int  (* index into i_prims *)
+  | NChild of int  (* index into i_children *)
+  | NGo of int  (* group index *)
+  | NAssign of int  (* index into s_assigns *)
+
+type sassign = {
+  sa_ca : compiled_assign;
+  sa_group : int;  (* -1 for continuous assignments *)
+  sa_data : bool;  (* a group data assignment (gated while done reads 1) *)
+  mutable sa_live : bool;  (* scheduled && guard true, as of the last eval *)
+  mutable sa_val : Bitvec.t;  (* driven value while live *)
+}
+
+type sstate = {
+  s_graph : Sched.t;
+  s_nodes : snode array;
+  s_assigns : sassign array;
+  s_base : Bitvec.t array;
+      (* per-slot value from non-assignment producers (component inputs,
+         primitive outputs, child outputs, go holes) — zero otherwise *)
+  s_writers : int array array;
+      (* slot -> indices into s_assigns that statically target it, in the
+         reference engine's scan order (continuous, then per group in
+         declaration order: dones then datas) *)
+  s_live_count : int array;  (* live writers per multi-writer slot *)
+  mutable s_suspects : int;  (* slots currently holding >= 2 live writers *)
+  s_entries : bool array array;
+      (* group index -> gating flags of its active entries, in actives
+         order ([||] = inactive); diffed to re-mark on schedule changes *)
+  s_group_idx : (string, int) Hashtbl.t;
+  s_group_done : int array;  (* group index -> done hole slot *)
+  s_group_go_slot : int array;
+  s_prim_node : int array;
+  s_child_node : int array;
+  s_group_nodes : int array array;
+      (* group index -> its go node and assignment nodes, re-marked
+         whenever the group's active-entry list changes *)
 }
 
 type prim_inst = {
@@ -249,8 +300,18 @@ type instance = {
   mutable i_running : bool;
   mutable i_done_reg : bool;
   mutable i_iters_cycle : int;
-      (* combinational fixpoint iterations accumulated this cycle (a child
-         evaluates once per converging parent iteration); reset at commit *)
+      (* evaluation work accumulated this cycle: fixpoint iterations under
+         the reference engine, nodes touched under the scheduled engine;
+         reset at commit *)
+  i_max_iters : int;  (* fixpoint iteration / worklist pass budget *)
+  i_groups : string array;  (* declaration order (the static scan order) *)
+  (* Reusable conflict-check scratch (one slot-indexed "driver table" per
+     instance, generation-stamped so clearing is O(1) per cycle). *)
+  mutable i_gen : int;
+  i_drv_gen : int array;
+  i_drv_val : Bitvec.t array;
+  i_drv_text : string array;
+  mutable i_sched : sstate option;  (* Some iff built with `Scheduled *)
 }
 
 and child = {
@@ -258,13 +319,15 @@ and child = {
   c_input_map : (int * int) array;  (* parent slot of c.in -> child input slot *)
   c_output_map : (int * int) array;  (* child output slot -> parent slot *)
   c_done_parent_slot : int;  (* parent slot of the child's done output *)
-  mutable c_last_inputs : Bitvec.t array option;
+  c_buf : Bitvec.t array;  (* reused input buffer, indexed like c_input_map *)
+  mutable c_buf_valid : bool;
+      (* fixpoint engine: c_buf holds the inputs of the last child eval,
+         so an unchanged-input iteration skips re-evaluating the child *)
 }
 
-let max_fixpoint_iters = 1000
-
 let rec build ?(externs : (string * (unit -> Prim_state.t)) list = [])
-    ~(path : string) (ctx : context) (comp : component) : instance =
+    ?(engine : engine = `Fixpoint) ?(max_iters = 1000) ~(path : string)
+    (ctx : context) (comp : component) : instance =
   let port_ids : (port_ref, int) Hashtbl.t = Hashtbl.create 64 in
   let widths = ref [] in
   let count = ref 0 in
@@ -339,6 +402,10 @@ let rec build ?(externs : (string * (unit -> Prim_state.t)) list = [])
       ca_dst = id a.dst;
       ca_guard = compile_guard a.guard;
       ca_src = compile_atom a.src;
+      ca_reads =
+        List.filter_map
+          (function Port p -> Some (id p) | Lit _ -> None)
+          (assignment_atoms a);
       ca_text = Format.asprintf "%a" Printer.pp_assignment a;
     }
   in
@@ -406,7 +473,7 @@ let rec build ?(externs : (string * (unit -> Prim_state.t)) list = [])
           let child_path =
             if path = "" then c.cell_name else path ^ "." ^ c.cell_name
           in
-          let inst = build ~externs ~path:child_path ctx sub in
+          let inst = build ~externs ~engine ~max_iters ~path:child_path ctx sub in
           let input_map =
             List.map
               (fun (p, slot) -> (id (Cell_port (c.cell_name, p)), slot))
@@ -424,7 +491,10 @@ let rec build ?(externs : (string * (unit -> Prim_state.t)) list = [])
                 c_input_map = Array.of_list input_map;
                 c_output_map = Array.of_list output_map;
                 c_done_parent_slot = id (Cell_port (c.cell_name, "done"));
-                c_last_inputs = None;
+                c_buf =
+                  Array.of_list
+                    (List.map (fun (_, cslot) -> inst.i_zeros.(cslot)) input_map);
+                c_buf_valid = false;
               } )
             :: !children)
     comp.cells;
@@ -450,29 +520,150 @@ let rec build ?(externs : (string * (unit -> Prim_state.t)) list = [])
   let output_slots =
     List.map (fun pd -> (pd.pd_name, id (This pd.pd_name))) comp.outputs
   in
-  {
-    i_comp = comp;
-    i_path = path;
-    i_slots = slots;
-    i_zeros = zeros;
-    i_env = Array.copy zeros;
-    i_next = Array.copy zeros;
-    i_prims = Array.of_list (List.rev !prims);
-    i_children = Array.of_list (List.rev !children);
-    i_continuous = Array.of_list (List.map compile_assign comp.continuous);
-    i_group_assigns = group_assigns;
-    i_group_go = group_go;
-    i_group_done = group_done;
-    i_input_slots = input_slots;
-    i_output_slots = output_slots;
-    i_port_ids = port_ids;
-    i_structured = comp.control <> Empty;
-    i_ictrl = annotate comp.control;
-    i_ctrl = CDone;
-    i_running = false;
-    i_done_reg = false;
-    i_iters_cycle = 0;
-  }
+  let inst =
+    {
+      i_comp = comp;
+      i_path = path;
+      i_slots = slots;
+      i_zeros = zeros;
+      i_env = Array.copy zeros;
+      i_next = Array.copy zeros;
+      i_prims = Array.of_list (List.rev !prims);
+      i_children = Array.of_list (List.rev !children);
+      i_continuous = Array.of_list (List.map compile_assign comp.continuous);
+      i_group_assigns = group_assigns;
+      i_group_go = group_go;
+      i_group_done = group_done;
+      i_input_slots = input_slots;
+      i_output_slots = output_slots;
+      i_port_ids = port_ids;
+      i_structured = comp.control <> Empty;
+      i_ictrl = annotate comp.control;
+      i_ctrl = CDone;
+      i_running = false;
+      i_done_reg = false;
+      i_iters_cycle = 0;
+      i_max_iters = max_iters;
+      i_groups = Array.of_list (List.map (fun g -> g.group_name) comp.groups);
+      i_gen = 0;
+      i_drv_gen = Array.make (max slots 1) 0;
+      i_drv_val = Array.copy zeros;
+      i_drv_text = Array.make (max slots 1) "";
+      i_sched = None;
+    }
+  in
+  (match engine with
+  | `Scheduled -> inst.i_sched <- Some (build_sched inst)
+  | `Fixpoint -> ());
+  inst
+
+(* Construct the dependency graph of one instance: which slots each node
+   reads and writes, in the terms Sched expects. *)
+and build_sched inst : sstate =
+  let ngroups = Array.length inst.i_groups in
+  let group_idx = Hashtbl.create 16 in
+  Array.iteri (fun gi g -> Hashtbl.replace group_idx g gi) inst.i_groups;
+  let group_done =
+    Array.map (fun g -> Hashtbl.find inst.i_group_done g) inst.i_groups
+  in
+  let group_go_slot =
+    Array.map (fun g -> Hashtbl.find inst.i_group_go g) inst.i_groups
+  in
+  (* Assignments in the reference engine's static scan order. *)
+  let assigns = ref [] in
+  let add ca group data =
+    assigns :=
+      { sa_ca = ca; sa_group = group; sa_data = data;
+        sa_live = false; sa_val = Bitvec.zero 1 }
+      :: !assigns
+  in
+  Array.iter (fun ca -> add ca (-1) false) inst.i_continuous;
+  Array.iteri
+    (fun gi g ->
+      let dones, datas = Hashtbl.find inst.i_group_assigns g in
+      Array.iter (fun ca -> add ca gi false) dones;
+      Array.iter (fun ca -> add ca gi true) datas)
+    inst.i_groups;
+  let s_assigns = Array.of_list (List.rev !assigns) in
+  let na = Array.length s_assigns in
+  let np = Array.length inst.i_prims in
+  let nc = Array.length inst.i_children in
+  let n = np + nc + ngroups + na in
+  let prim_node = Array.init np (fun p -> p) in
+  let child_node = Array.init nc (fun c -> np + c) in
+  let go_node = Array.init ngroups (fun gi -> np + nc + gi) in
+  let assign_node = Array.init na (fun ai -> np + nc + ngroups + ai) in
+  let nodes = Array.make (max n 1) (NGo 0) in
+  let specs = Array.make (max n 1) ([], []) in
+  Array.iteri
+    (fun p pi ->
+      nodes.(prim_node.(p)) <- NPrim p;
+      let reads =
+        match Prim_state.comb_inputs pi.pi_state with
+        | None -> List.map snd pi.pi_inputs
+        | Some names ->
+            List.filter_map (fun nm -> List.assoc_opt nm pi.pi_inputs) names
+      in
+      specs.(prim_node.(p)) <- (reads, List.map snd pi.pi_outputs))
+    inst.i_prims;
+  Array.iteri
+    (fun c (_, ch) ->
+      nodes.(child_node.(c)) <- NChild c;
+      let reads = Array.to_list (Array.map fst ch.c_input_map) in
+      let writes =
+        ch.c_done_parent_slot :: Array.to_list (Array.map snd ch.c_output_map)
+      in
+      specs.(child_node.(c)) <- (reads, writes))
+    inst.i_children;
+  Array.iteri
+    (fun gi _ ->
+      nodes.(go_node.(gi)) <- NGo gi;
+      (* The go hole depends on the done hole through the gating rule. *)
+      specs.(go_node.(gi)) <- ([ group_done.(gi) ], [ group_go_slot.(gi) ]))
+    inst.i_groups;
+  Array.iteri
+    (fun ai sa ->
+      nodes.(assign_node.(ai)) <- NAssign ai;
+      let reads =
+        if sa.sa_data then group_done.(sa.sa_group) :: sa.sa_ca.ca_reads
+        else sa.sa_ca.ca_reads
+      in
+      specs.(assign_node.(ai)) <- (reads, [ sa.sa_ca.ca_dst ]))
+    s_assigns;
+  let graph = Sched.build ~slots:inst.i_slots ~nodes:(Array.sub specs 0 n) in
+  let writer_lists = Array.make (max inst.i_slots 1) [] in
+  Array.iteri
+    (fun ai sa ->
+      writer_lists.(sa.sa_ca.ca_dst) <- ai :: writer_lists.(sa.sa_ca.ca_dst))
+    s_assigns;
+  let group_nodes = Array.make (max ngroups 1) [||] in
+  for gi = 0 to ngroups - 1 do
+    let ns = ref [ go_node.(gi) ] in
+    Array.iteri
+      (fun ai sa -> if sa.sa_group = gi then ns := assign_node.(ai) :: !ns)
+      s_assigns;
+    group_nodes.(gi) <- Array.of_list !ns
+  done;
+  let st =
+    {
+      s_graph = graph;
+      s_nodes = nodes;
+      s_assigns;
+      s_base = Array.copy inst.i_zeros;
+      s_writers = Array.map (fun l -> Array.of_list (List.rev l)) writer_lists;
+      s_live_count = Array.make (max inst.i_slots 1) 0;
+      s_suspects = 0;
+      s_entries = Array.make (max ngroups 1) [||];
+      s_group_idx = group_idx;
+      s_group_done = group_done;
+      s_group_go_slot = group_go_slot;
+      s_prim_node = prim_node;
+      s_child_node = child_node;
+      s_group_nodes = group_nodes;
+    }
+  in
+  Sched.mark_all st.s_graph;
+  st
 
 (* ------------------------------------------------------------------ *)
 (* Combinational evaluation                                            *)
@@ -497,6 +688,47 @@ let effective_ctrl inst ~go =
 
 let active_groups inst ~go = cactive [] (effective_ctrl inst ~go)
 
+(* Conflict detection at the settled point: two active assignments driving
+   the same port with different values is undefined behaviour. Shared by
+   both engines so the diagnostics are bit-identical. The driver table is a
+   generation-stamped per-instance scratch array — bumping [i_gen] clears
+   it in O(1). *)
+let check_conflicts inst =
+  let env = inst.i_env in
+  inst.i_gen <- inst.i_gen + 1;
+  let gen = inst.i_gen in
+  let check ca =
+    if ca.ca_guard env then begin
+      let v = ca.ca_src env in
+      let dst = ca.ca_dst in
+      if inst.i_drv_gen.(dst) = gen then begin
+        if not (Bitvec.equal v inst.i_drv_val.(dst)) then
+          raise
+            (Conflict_msg
+               (Printf.sprintf
+                  "component %s: conflicting drivers in the same cycle:\n  %s\n  %s"
+                  inst.i_comp.comp_name inst.i_drv_text.(dst) ca.ca_text))
+      end
+      else begin
+        inst.i_drv_gen.(dst) <- gen;
+        inst.i_drv_val.(dst) <- v;
+        inst.i_drv_text.(dst) <- ca.ca_text
+      end
+    end
+  in
+  let go = Bitvec.is_true env.(go_slot inst) in
+  Array.iter check inst.i_continuous;
+  List.iter
+    (fun (g, gated) ->
+      let dones, datas = Hashtbl.find inst.i_group_assigns g in
+      Array.iter check dones;
+      let live =
+        (not gated)
+        || not (Bitvec.is_true env.(Hashtbl.find inst.i_group_done g))
+      in
+      if live then Array.iter check datas)
+    (active_groups inst ~go)
+
 let rec eval_comb inst (inputs : Bitvec.t array) =
   (* [inputs] is indexed in the order of [i_input_slots]. *)
   let n = inst.i_slots in
@@ -504,7 +736,7 @@ let rec eval_comb inst (inputs : Bitvec.t array) =
   let iters = ref 0 in
   while !changed do
     incr iters;
-    if !iters > max_fixpoint_iters then
+    if !iters > inst.i_max_iters then
       raise
         (Unstable_msg
            (Printf.sprintf "component %s: combinational fixpoint diverged"
@@ -539,21 +771,22 @@ let rec eval_comb inst (inputs : Bitvec.t array) =
             | None -> ())
           outs)
       inst.i_prims;
-    (* Child component outputs. *)
+    (* Child component outputs. The input buffer is reused across
+       iterations; an iteration that leaves it unchanged skips the child. *)
     Array.iter
       (fun (_, ch) ->
-        let child_inputs =
-          Array.map (fun (pslot, _) -> old.(pslot)) ch.c_input_map
-        in
-        let recompute =
-          match ch.c_last_inputs with
-          | Some prev ->
-              not (Array.for_all2 (fun a b -> Bitvec.equal a b) prev child_inputs)
-          | None -> true
-        in
-        if recompute then begin
-          eval_comb ch.c_inst child_inputs;
-          ch.c_last_inputs <- Some child_inputs
+        let recompute = ref (not ch.c_buf_valid) in
+        Array.iteri
+          (fun i (pslot, _) ->
+            let v = old.(pslot) in
+            if not (Bitvec.equal ch.c_buf.(i) v) then begin
+              ch.c_buf.(i) <- v;
+              recompute := true
+            end)
+          ch.c_input_map;
+        if !recompute then begin
+          eval_comb ch.c_inst ch.c_buf;
+          ch.c_buf_valid <- true
         end;
         Array.iter
           (fun (cslot, pslot) -> next.(pslot) <- ch.c_inst.i_env.(cslot))
@@ -584,36 +817,162 @@ let rec eval_comb inst (inputs : Bitvec.t array) =
     inst.i_next <- old
   done;
   inst.i_iters_cycle <- inst.i_iters_cycle + !iters;
-  (* Conflict detection at the fixpoint: two active assignments driving the
-     same port with different values is undefined behaviour. *)
+  check_conflicts inst
+
+(* ------------------------------------------------------------------ *)
+(* Scheduled evaluation (dirty-set settle over the static graph)       *)
+(* ------------------------------------------------------------------ *)
+
+(* Final value of a slot: the last live assignment writer in static scan
+   order wins, else the base producer's value — exactly the reference
+   engine's last-write-wins array scan. A change enqueues the readers. *)
+let resolve_slot inst st slot =
+  let v = ref st.s_base.(slot) in
+  Array.iter
+    (fun ai ->
+      let sa = st.s_assigns.(ai) in
+      if sa.sa_live then v := sa.sa_val)
+    st.s_writers.(slot);
+  if not (Bitvec.equal inst.i_env.(slot) !v) then begin
+    inst.i_env.(slot) <- !v;
+    Sched.mark_slot st.s_graph slot
+  end
+
+(* A non-assignment producer (component input, primitive output, child
+   output, go hole) pushed a value. *)
+let set_base inst st slot v =
+  if not (Bitvec.equal st.s_base.(slot) v) then begin
+    st.s_base.(slot) <- v;
+    resolve_slot inst st slot
+  end
+
+(* Conflicts need >= 2 simultaneously-live writers on one slot, so a
+   per-slot live count (maintained only for statically multi-written
+   slots) tells us when the exact — and comparatively expensive — settled
+   check can be skipped. *)
+let live_transition st sa becoming =
+  let dst = sa.sa_ca.ca_dst in
+  if Array.length st.s_writers.(dst) > 1 then begin
+    let c =
+      if becoming then st.s_live_count.(dst) + 1
+      else st.s_live_count.(dst) - 1
+    in
+    st.s_live_count.(dst) <- c;
+    if becoming && c = 2 then st.s_suspects <- st.s_suspects + 1
+    else if (not becoming) && c = 1 then st.s_suspects <- st.s_suspects - 1
+  end
+
+let eval_sassign inst st ai =
+  let sa = st.s_assigns.(ai) in
   let env = inst.i_env in
-  let driver : (int, Bitvec.t * string) Hashtbl.t = Hashtbl.create 16 in
-  let check ca =
-    if ca.ca_guard env then begin
-      let v = ca.ca_src env in
-      match Hashtbl.find_opt driver ca.ca_dst with
-      | Some (v', text') when not (Bitvec.equal v v') ->
-          raise
-            (Conflict_msg
-               (Printf.sprintf
-                  "component %s: conflicting drivers in the same cycle:\n  %s\n  %s"
-                  inst.i_comp.comp_name text' ca.ca_text))
-      | Some _ -> ()
-      | None -> Hashtbl.replace driver ca.ca_dst (v, ca.ca_text)
-    end
+  let scheduled =
+    sa.sa_group < 0
+    ||
+    let entries = st.s_entries.(sa.sa_group) in
+    Array.length entries > 0
+    && ((not sa.sa_data)
+       || Array.exists not entries
+       || not (Bitvec.is_true env.(st.s_group_done.(sa.sa_group))))
   in
-  let go = Bitvec.is_true env.(go_slot inst) in
-  Array.iter check inst.i_continuous;
+  if scheduled && sa.sa_ca.ca_guard env then begin
+    let v = sa.sa_ca.ca_src env in
+    if (not sa.sa_live) || not (Bitvec.equal v sa.sa_val) then begin
+      if not sa.sa_live then live_transition st sa true;
+      sa.sa_live <- true;
+      sa.sa_val <- v;
+      resolve_slot inst st sa.sa_ca.ca_dst
+    end
+  end
+  else if sa.sa_live then begin
+    live_transition st sa false;
+    sa.sa_live <- false;
+    resolve_slot inst st sa.sa_ca.ca_dst
+  end
+
+(* The go hole mirrors the reference loop: one write per active entry in
+   actives order, so the last entry's liveness wins. *)
+let eval_go inst st gi =
+  let entries = st.s_entries.(gi) in
+  let v =
+    if Array.length entries = 0 then Bitvec.zero 1
+    else if
+      (not entries.(Array.length entries - 1))
+      || not (Bitvec.is_true inst.i_env.(st.s_group_done.(gi)))
+    then Bitvec.one 1
+    else Bitvec.zero 1
+  in
+  set_base inst st st.s_group_go_slot.(gi) v
+
+let eval_sprim inst st p =
+  let pi = inst.i_prims.(p) in
+  let outs = Prim_state.outputs pi.pi_state ~read:(prim_reader inst.i_env pi) in
+  List.iter
+    (fun (port, v) ->
+      match List.assoc_opt port pi.pi_outputs with
+      | Some slot -> set_base inst st slot v
+      | None -> ())
+    outs
+
+(* Recompute which groups the control schedules this cycle and diff
+   against the last settle's view; a changed group has its go node and all
+   its assignment nodes re-marked. Cheap (one walk of the control state),
+   so it runs unconditionally at the top of every settle. *)
+let refresh_entries inst st =
+  let ngroups = Array.length inst.i_groups in
+  let go = Bitvec.is_true inst.i_env.(go_slot inst) in
+  let fresh = Array.make (max ngroups 1) [] in
   List.iter
     (fun (g, gated) ->
-      let dones, datas = Hashtbl.find inst.i_group_assigns g in
-      Array.iter check dones;
-      let live =
-        (not gated)
-        || not (Bitvec.is_true env.(Hashtbl.find inst.i_group_done g))
-      in
-      if live then Array.iter check datas)
-    (active_groups inst ~go)
+      let gi = Hashtbl.find st.s_group_idx g in
+      fresh.(gi) <- gated :: fresh.(gi))
+    (active_groups inst ~go);
+  for gi = 0 to ngroups - 1 do
+    let ne = Array.of_list (List.rev fresh.(gi)) in
+    if ne <> st.s_entries.(gi) then begin
+      st.s_entries.(gi) <- ne;
+      Array.iter (Sched.mark_node st.s_graph) st.s_group_nodes.(gi)
+    end
+  done
+
+let rec eval_scheduled inst (inputs : Bitvec.t array) =
+  let st =
+    match inst.i_sched with Some st -> st | None -> assert false
+  in
+  List.iteri
+    (fun i (_, slot) -> set_base inst st slot inputs.(i))
+    inst.i_input_slots;
+  refresh_entries inst st;
+  let eval k =
+    match st.s_nodes.(k) with
+    | NPrim p -> eval_sprim inst st p
+    | NChild c -> eval_schild inst st c
+    | NGo gi -> eval_go inst st gi
+    | NAssign ai -> eval_sassign inst st ai
+  in
+  let touched =
+    try Sched.run st.s_graph ~eval ~max_passes:inst.i_max_iters
+    with Sched.Diverged ->
+      raise
+        (Unstable_msg
+           (Printf.sprintf "component %s: combinational fixpoint diverged"
+              inst.i_comp.comp_name))
+  in
+  inst.i_iters_cycle <- inst.i_iters_cycle + touched;
+  if st.s_suspects > 0 then check_conflicts inst
+
+and eval_schild inst st c =
+  let _, ch = inst.i_children.(c) in
+  Array.iteri
+    (fun i (pslot, _) -> ch.c_buf.(i) <- inst.i_env.(pslot))
+    ch.c_input_map;
+  eval_scheduled ch.c_inst ch.c_buf;
+  Array.iter
+    (fun (cslot, pslot) -> set_base inst st pslot ch.c_inst.i_env.(cslot))
+    ch.c_output_map;
+  (* Structured children report a registered done. *)
+  if ch.c_inst.i_structured then
+    set_base inst st ch.c_done_parent_slot
+      (if ch.c_inst.i_done_reg then Bitvec.one 1 else Bitvec.zero 1)
 
 (* ------------------------------------------------------------------ *)
 (* Clock edge                                                          *)
@@ -622,15 +981,34 @@ let rec eval_comb inst (inputs : Bitvec.t array) =
 let rec commit ~now ~csink inst =
   inst.i_iters_cycle <- 0;
   let env = inst.i_env in
-  (* Primitive state updates. *)
-  Array.iter
-    (fun pi -> Prim_state.commit pi.pi_state ~read:(prim_reader env pi))
-    inst.i_prims;
-  (* Child updates (their env is consistent with the converged parent env). *)
-  Array.iter (fun (_, ch) ->
-      commit ~now ~csink ch.c_inst;
-      ch.c_last_inputs <- None)
-    inst.i_children;
+  (match inst.i_sched with
+  | None ->
+      (* Primitive state updates. *)
+      Array.iter
+        (fun pi ->
+          ignore (Prim_state.commit pi.pi_state ~read:(prim_reader env pi)))
+        inst.i_prims;
+      (* Child updates (their env is consistent with the converged parent
+         env). *)
+      Array.iter
+        (fun (_, ch) ->
+          commit ~now ~csink ch.c_inst;
+          ch.c_buf_valid <- false)
+        inst.i_children
+  | Some st ->
+      (* Commit-time invalidation: re-mark exactly the nodes whose outputs
+         can differ next cycle — primitives that latched state, and every
+         child (whose internal control may advance with stable inputs). *)
+      Array.iteri
+        (fun p pi ->
+          if Prim_state.commit pi.pi_state ~read:(prim_reader env pi) then
+            Sched.mark_node st.s_graph st.s_prim_node.(p))
+        inst.i_prims;
+      Array.iteri
+        (fun c (_, ch) ->
+          commit ~now ~csink ch.c_inst;
+          Sched.mark_node st.s_graph st.s_child_node.(c))
+        inst.i_children);
   (* Control lifecycle. *)
   if inst.i_structured then begin
     let emit_at cycle =
@@ -720,9 +1098,12 @@ type t = {
       (* built on demand: flattened signal metadata + where to read each *)
 }
 
-let create ?externs ctx =
+let create ?externs ?(engine : engine = `Fixpoint) ?(max_fixpoint_iters = 1000)
+    ctx =
   let comp = entry ctx in
-  let root = build ?externs ~path:"" ctx comp in
+  let root =
+    build ?externs ~engine ~max_iters:max_fixpoint_iters ~path:"" ctx comp
+  in
   let inputs =
     Array.of_list
       (List.map
@@ -958,8 +1339,15 @@ let read_output t name =
       else t.root.i_env.(slot)
   | None -> ir_error "no output port %s" name
 
+let engine t : engine =
+  match t.root.i_sched with Some _ -> `Scheduled | None -> `Fixpoint
+
 let cycle t =
-  (try eval_comb t.root t.inputs with
+  (try
+     match t.root.i_sched with
+     | None -> eval_comb t.root t.inputs
+     | Some _ -> eval_scheduled t.root t.inputs
+   with
   | Conflict_msg message ->
       raise (Conflict { cycle = t.cycles; message; snapshot = status t })
   | Unstable_msg message ->
@@ -1005,15 +1393,14 @@ let run ?(max_cycles = 5_000_000) t =
 
 let rec resolve_prim inst path =
   match String.index_opt path '.' with
-  | None -> (
-      match
-        Array.find_opt
-          (fun pi -> String.equal pi.pi_cell path)
-          inst.i_prims
-      with
-      | Some pi -> pi.pi_state
-      | None ->
-          ir_error "no primitive cell %s in %s" path inst.i_comp.comp_name)
+  | None ->
+      let rec find p =
+        if p >= Array.length inst.i_prims then
+          ir_error "no primitive cell %s in %s" path inst.i_comp.comp_name
+        else if String.equal inst.i_prims.(p).pi_cell path then (inst, p)
+        else find (p + 1)
+      in
+      find 0
   | Some i ->
       let hd = String.sub path 0 i in
       let tl = String.sub path (i + 1) (String.length path - i - 1) in
@@ -1026,10 +1413,30 @@ let rec resolve_prim inst path =
       in
       resolve_prim ch.c_inst tl
 
-let read_register t path = Prim_state.get_register (resolve_prim t.root path)
-let write_register t path v = Prim_state.set_register (resolve_prim t.root path) v
-let read_memory t path = Prim_state.get_memory (resolve_prim t.root path)
-let write_memory t path data = Prim_state.set_memory (resolve_prim t.root path) data
+let prim_state_at (inst, p) = inst.i_prims.(p).pi_state
+
+(* A test-bench write changed primitive state behind the scheduler's back;
+   mark the primitive so the next settle re-reads its outputs. *)
+let touch_prim (inst, p) =
+  match inst.i_sched with
+  | None -> ()
+  | Some st -> Sched.mark_node st.s_graph st.s_prim_node.(p)
+
+let read_register t path =
+  Prim_state.get_register (prim_state_at (resolve_prim t.root path))
+
+let write_register t path v =
+  let loc = resolve_prim t.root path in
+  Prim_state.set_register (prim_state_at loc) v;
+  touch_prim loc
+
+let read_memory t path =
+  Prim_state.get_memory (prim_state_at (resolve_prim t.root path))
+
+let write_memory t path data =
+  let loc = resolve_prim t.root path in
+  Prim_state.set_memory (prim_state_at loc) data;
+  touch_prim loc
 
 let write_memory_ints t path ~width ints =
   write_memory t path

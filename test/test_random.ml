@@ -1,6 +1,9 @@
 (* Differential fuzzing: randomly generated Calyx programs executed by the
    reference interpreter (the oracle) must compute identical register state
-   when compiled by the full pipeline — across pass configurations.
+   when compiled by the full pipeline — across pass configurations. Every
+   program (source and lowered alike) additionally runs under both
+   evaluation engines, which must agree on cycle counts, final registers,
+   and the ordered control-event stream.
 
    Generated programs are well-formed and race-free by construction:
    - every action group writes its own dedicated register, and groups may
@@ -21,6 +24,36 @@ let gen_program = Progs.Fuzz.gen_program
 
 let register_values sim regs =
   List.map (fun r -> Bitvec.to_int64 (Calyx_sim.Sim.read_register sim r)) regs
+
+(* Run a program under one engine, recording the full ordered control-event
+   stream alongside the cycle count and final register state. *)
+let run_engine ~engine ctx regs =
+  let sim = Calyx_sim.Sim.create ~engine ctx in
+  let events = ref [] in
+  Calyx_sim.Sim.set_ctrl_sink sim (Some (fun e -> events := e :: !events));
+  let cycles = Calyx_sim.Sim.run ~max_cycles:400_000 sim in
+  (cycles, register_values sim regs, List.rev !events)
+
+(* Engine differential: the scheduled engine must be observably identical
+   to the reference fixpoint engine — same cycle count, same final register
+   state, same ordered control-event stream. *)
+let check_engines ctx regs =
+  let fc, fr, fe = run_engine ~engine:`Fixpoint ctx regs in
+  let sc, sr, se = run_engine ~engine:`Scheduled ctx regs in
+  if fc <> sc then begin
+    Printf.printf "engine cycle mismatch: fixpoint %d vs scheduled %d\n" fc sc;
+    false
+  end
+  else if fr <> sr then begin
+    print_endline "engine final-register mismatch";
+    false
+  end
+  else if fe <> se then begin
+    Printf.printf "engine ctrl-event mismatch (%d vs %d events)\n"
+      (List.length fe) (List.length se);
+    false
+  end
+  else true
 
 let configs =
   [
@@ -49,25 +82,44 @@ let check_seed seed =
   let oracle = Calyx_sim.Sim.create ctx in
   let oracle_cycles = Calyx_sim.Sim.run ~max_cycles:200_000 oracle in
   let expected = register_values oracle regs in
-  List.for_all
-    (fun (name, config) ->
-      let lowered = Pipelines.compile ~config ctx in
-      let sim = Calyx_sim.Sim.create lowered in
-      let cycles = Calyx_sim.Sim.run ~max_cycles:400_000 sim in
-      ignore cycles;
-      let got = register_values sim regs in
-      if got <> expected then begin
-        Printf.printf "seed %d config %s (oracle %d cycles): mismatch\n" seed
-          name oracle_cycles;
-        false
-      end
-      else true)
-    configs
+  check_engines ctx regs
+  && List.for_all
+       (fun (name, config) ->
+         let lowered = Pipelines.compile ~config ctx in
+         let sim = Calyx_sim.Sim.create lowered in
+         let cycles = Calyx_sim.Sim.run ~max_cycles:400_000 sim in
+         ignore cycles;
+         let got = register_values sim regs in
+         if got <> expected then begin
+           Printf.printf "seed %d config %s (oracle %d cycles): mismatch\n" seed
+             name oracle_cycles;
+           false
+         end
+         else check_engines lowered regs)
+       configs
 
 let prop_differential =
   QCheck.Test.make ~name:"random programs: compiled = interpreted" ~count:60
     QCheck.(make ~print:string_of_int Gen.(int_bound 1_000_000))
     check_seed
+
+(* A wider engine-only sweep (no compilation, so it is cheap): together
+   with the fixed-seed sweep and the differential property this exercises
+   well over 500 random programs under both engines per run. *)
+let prop_engines =
+  QCheck.Test.make ~name:"scheduled engine = fixpoint engine" ~count:300
+    QCheck.(make ~print:string_of_int Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let ctx = gen_program seed in
+      let regs =
+        List.filter_map
+          (fun c ->
+            match c.cell_proto with
+            | Prim ("std_reg", _) -> Some c.cell_name
+            | _ -> None)
+          (entry ctx).cells
+      in
+      check_engines ctx regs)
 
 (* Random programs also exercise the printer/parser round trip. *)
 let prop_roundtrip =
@@ -123,6 +175,7 @@ let () =
         [
           Alcotest.test_case "fixed seeds 0..200" `Quick test_fixed_seeds;
           QCheck_alcotest.to_alcotest prop_differential;
+          QCheck_alcotest.to_alcotest prop_engines;
           QCheck_alcotest.to_alcotest prop_roundtrip;
           QCheck_alcotest.to_alcotest prop_lint_clean;
           QCheck_alcotest.to_alcotest prop_lowered_error_free;

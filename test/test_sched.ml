@@ -1,0 +1,312 @@
+(* The scheduled evaluation engine: unit tests for the Sched graph module
+   (levelization, dirty-set evaluation, cyclic-remainder worklist) and
+   observable-equivalence checks against the reference fixpoint engine on
+   the shared sample programs — including the error paths (Conflict and
+   Unstable must fire at the same cycle with the same message). *)
+
+open Calyx
+
+module Sim = Calyx_sim.Sim
+module Sched = Calyx_sim.Sched
+
+(* ------------------------------------------------------------------ *)
+(* Sched: the graph scheduler in isolation                             *)
+(* ------------------------------------------------------------------ *)
+
+(* A diamond DAG over slots a=0 b=1 c=2 d=3:
+     node 0 writes a; nodes 1,2 read a and write b,c; node 3 reads b,c. *)
+let diamond () =
+  Sched.build ~slots:4
+    ~nodes:[| ([], [ 0 ]); ([ 0 ], [ 1 ]); ([ 0 ], [ 2 ]); ([ 1; 2 ], [ 3 ]) |]
+
+let test_levels () =
+  let g = diamond () in
+  Alcotest.(check int) "source level" 0 (Sched.level g 0);
+  Alcotest.(check int) "left level" 1 (Sched.level g 1);
+  Alcotest.(check int) "right level" 1 (Sched.level g 2);
+  Alcotest.(check int) "sink level" 2 (Sched.level g 3);
+  for k = 0 to 3 do
+    Alcotest.(check bool) "acyclic" false (Sched.cyclic g k)
+  done
+
+(* Dirty-set evaluation over the diamond: each acyclic node evaluates at
+   most once per settle, and evaluation order respects levels. *)
+let test_dirty_order () =
+  let g = diamond () in
+  Sched.mark_all g;
+  let order = ref [] in
+  let n = Sched.run g ~eval:(fun k -> order := k :: !order) ~max_passes:10 in
+  Alcotest.(check int) "all evaluated once" 4 n;
+  let pos k =
+    let rec go i = function
+      | [] -> Alcotest.failf "node %d not evaluated" k
+      | x :: _ when x = k -> i
+      | _ :: rest -> go (i + 1) rest
+    in
+    go 0 (List.rev !order)
+  in
+  Alcotest.(check bool) "source before left" true (pos 0 < pos 1);
+  Alcotest.(check bool) "source before right" true (pos 0 < pos 2);
+  Alcotest.(check bool) "left before sink" true (pos 1 < pos 3);
+  Alcotest.(check bool) "right before sink" true (pos 2 < pos 3);
+  (* Nothing dirty: the next settle touches nothing. *)
+  Alcotest.(check int) "settled" 0
+    (Sched.run g ~eval:(fun _ -> ()) ~max_passes:10);
+  (* Marking one slot re-evaluates only its downstream readers. *)
+  Sched.mark_slot g 1;
+  Alcotest.(check int) "incremental" 1
+    (Sched.run g ~eval:(fun _ -> ()) ~max_passes:10)
+
+(* A 2-node cycle (0 reads b writes a, 1 reads a writes b) feeding an
+   acyclic reader. The worklist must converge once values stabilise. *)
+let test_cycle_converges () =
+  let g =
+    Sched.build ~slots:3
+      ~nodes:[| ([ 1 ], [ 0 ]); ([ 0 ], [ 1 ]); ([ 0; 1 ], [ 2 ]) |]
+  in
+  Alcotest.(check bool) "member cyclic" true (Sched.cyclic g 0);
+  Alcotest.(check bool) "member cyclic" true (Sched.cyclic g 1);
+  Alcotest.(check bool) "reader acyclic" false (Sched.cyclic g 2);
+  Alcotest.(check bool) "reader downstream" true
+    (Sched.level g 2 > Sched.level g 0);
+  (* max-propagation to a fixed point: a = max(a, b), b = max(a, b). *)
+  let slots = [| 5; 3; 0 |] in
+  let eval k =
+    match k with
+    | 0 ->
+        let v = max slots.(0) slots.(1) in
+        if v <> slots.(0) then begin
+          slots.(0) <- v;
+          Sched.mark_slot g 0
+        end
+    | 1 ->
+        let v = max slots.(0) slots.(1) in
+        if v <> slots.(1) then begin
+          slots.(1) <- v;
+          Sched.mark_slot g 1
+        end
+    | 2 -> slots.(2) <- slots.(0) + slots.(1)
+    | _ -> assert false
+  in
+  Sched.mark_all g;
+  ignore (Sched.run g ~eval ~max_passes:100);
+  Alcotest.(check int) "converged a" 5 slots.(0);
+  Alcotest.(check int) "converged b" 5 slots.(1);
+  Alcotest.(check int) "reader saw settled values" 10 slots.(2)
+
+(* A cycle whose members re-mark each other forever must trip the budget. *)
+let test_cycle_diverges () =
+  let g = Sched.build ~slots:2 ~nodes:[| ([ 1 ], [ 0 ]); ([ 0 ], [ 1 ]) |] in
+  Sched.mark_all g;
+  Alcotest.check_raises "budget exceeded" Sched.Diverged (fun () ->
+      ignore
+        (Sched.run g
+           ~eval:(fun k -> Sched.mark_slot g (if k = 0 then 0 else 1))
+           ~max_passes:10))
+
+(* Self-edges count as cyclic even in a singleton component. *)
+let test_self_edge () =
+  let g = Sched.build ~slots:1 ~nodes:[| ([ 0 ], [ 0 ]) |] in
+  Alcotest.(check bool) "self-edge cyclic" true (Sched.cyclic g 0)
+
+(* ------------------------------------------------------------------ *)
+(* Engine equivalence on the shared sample programs                    *)
+(* ------------------------------------------------------------------ *)
+
+let run_both ctx =
+  let go engine =
+    let sim = Sim.create ~engine ctx in
+    let cycles = Sim.run sim in
+    (sim, cycles)
+  in
+  let f, fc = go `Fixpoint in
+  let s, sc = go `Scheduled in
+  Alcotest.(check int) "cycle counts agree" fc sc;
+  (f, s)
+
+let check_reg name f s =
+  Alcotest.(check int64) ("register " ^ name)
+    (Bitvec.to_int64 (Sim.read_register f name))
+    (Bitvec.to_int64 (Sim.read_register s name))
+
+let test_counter () =
+  let f, s = run_both (Progs.counter ~limit:5 ()) in
+  check_reg "r" f s
+
+let test_seq () =
+  let f, s = run_both (Progs.two_writes_seq ()) in
+  check_reg "x" f s
+
+let test_par () =
+  let f, s = run_both (Progs.two_writes_par ()) in
+  check_reg "x" f s;
+  check_reg "y" f s
+
+let test_if () =
+  let f, s = run_both (Progs.if_program ~x:3 ~y:7 ()) in
+  check_reg "r" f s;
+  let f, s = run_both (Progs.if_program ~x:7 ~y:3 ()) in
+  check_reg "r" f s
+
+(* Hierarchy: a child component evaluated through an NChild graph node. *)
+let test_hierarchy () =
+  let f, s = run_both (Progs.hierarchy ~input:21 ()) in
+  check_reg "r" f s;
+  Alcotest.(check int64) "doubler result" 42L
+    (Bitvec.to_int64 (Sim.read_register s "r"))
+
+(* The pipelined multiplier exercises commit-time invalidation: its done
+   output changes cycles after its inputs stopped changing. *)
+let test_mult () =
+  let f, s = run_both (Progs.mult_program ~x:12 ~y:11 ()) in
+  check_reg "r" f s;
+  Alcotest.(check int64) "product" 132L (Bitvec.to_int64 (Sim.read_register s "r"))
+
+(* Memories: load inputs into both simulations, compare the output memory. *)
+let test_reduction_tree () =
+  let ctx = Progs.reduction_tree ~len:4 () in
+  let load sim =
+    List.iteri
+      (fun i m ->
+        Sim.write_memory_ints sim m ~width:32
+          (List.init 4 (fun j -> (10 * i) + j)))
+      [ "m0"; "m1"; "m2"; "m3" ]
+  in
+  let go engine =
+    let sim = Sim.create ~engine ctx in
+    load sim;
+    let cycles = Sim.run sim in
+    (cycles, Sim.read_memory_ints sim "out")
+  in
+  let fc, fm = go `Fixpoint in
+  let sc, sm = go `Scheduled in
+  Alcotest.(check int) "cycles" fc sc;
+  Alcotest.(check (list int)) "output memory" fm sm
+
+(* Lowered (flat, FSM-driven) programs — no control tree at all. *)
+let test_lowered () =
+  List.iter
+    (fun ctx ->
+      let lowered = Pipelines.compile ctx in
+      let f, s = run_both lowered in
+      ignore f;
+      ignore s)
+    [
+      Progs.counter ~limit:4 ();
+      Progs.two_writes_seq ();
+      Progs.reduction_tree ~len:2 ();
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Error-path parity                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let error_info run ctx engine =
+  let sim = Sim.create ~engine ctx in
+  match run sim with
+  | exception Sim.Conflict { cycle; message; snapshot } ->
+      Alcotest.(check bool) "snapshot non-empty" true (snapshot <> "");
+      ("conflict", cycle, message)
+  | exception Sim.Unstable { cycle; message; snapshot } ->
+      Alcotest.(check bool) "snapshot non-empty" true (snapshot <> "");
+      ("unstable", cycle, message)
+  | _ -> Alcotest.fail "expected a simulation error"
+
+let test_conflict_parity () =
+  let ctx = Progs.conflict_program () in
+  let run sim = Sim.run sim in
+  let fk, fc, fm = error_info run ctx `Fixpoint in
+  let sk, sc, sm = error_info run ctx `Scheduled in
+  Alcotest.(check string) "kind" "conflict" fk;
+  Alcotest.(check string) "same kind" fk sk;
+  Alcotest.(check int) "same cycle" fc sc;
+  Alcotest.(check string) "same message" fm sm
+
+let test_unstable_parity () =
+  let ctx = Progs.unstable_program () in
+  let run sim = Sim.run sim in
+  let fk, fc, fm = error_info run ctx `Fixpoint in
+  let sk, sc, sm = error_info run ctx `Scheduled in
+  Alcotest.(check string) "kind" "unstable" fk;
+  Alcotest.(check string) "same kind" fk sk;
+  Alcotest.(check int) "same cycle" fc sc;
+  Alcotest.(check string) "same message" fm sm
+
+(* ------------------------------------------------------------------ *)
+(* Engine plumbing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_engine_accessor () =
+  let ctx = Progs.counter ~limit:2 () in
+  Alcotest.(check bool) "default is fixpoint" true
+    (Sim.engine (Sim.create ctx) = `Fixpoint);
+  Alcotest.(check bool) "scheduled reported" true
+    (Sim.engine (Sim.create ~engine:`Scheduled ctx) = `Scheduled)
+
+(* A test-bench register write behind the scheduler's back must be picked
+   up by the next settle (the touch_prim invalidation path). *)
+let test_testbench_write () =
+  let ctx = Progs.counter ~limit:10 () in
+  let go engine =
+    let sim = Sim.create ~engine ctx in
+    Sim.set_input sim "go" (Bitvec.one 1);
+    for _ = 1 to 8 do
+      Sim.cycle sim
+    done;
+    Sim.write_register sim "r" (Bitvec.of_int ~width:8 9);
+    let extra = ref 0 in
+    while not (Sim.done_seen sim) do
+      Sim.cycle sim;
+      incr extra
+    done;
+    (!extra, Bitvec.to_int64 (Sim.read_register sim "r"))
+  in
+  let fe, fr = go `Fixpoint in
+  let se, sr = go `Scheduled in
+  Alcotest.(check int) "same remaining cycles" fe se;
+  Alcotest.(check int64) "same final value" fr sr
+
+(* ev_iters under the scheduled engine counts touched nodes: positive on a
+   busy cycle, and bounded by work actually performed. *)
+let test_iters_stat () =
+  let ctx = Progs.counter ~limit:5 () in
+  let sim = Sim.create ~engine:`Scheduled ctx in
+  let total = ref 0 in
+  Sim.add_sink sim (fun ev -> total := !total + ev.Sim.ev_iters);
+  ignore (Sim.run sim);
+  Alcotest.(check bool) "touched nodes recorded" true (!total > 0)
+
+let () =
+  Alcotest.run "sched"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "diamond levels" `Quick test_levels;
+          Alcotest.test_case "dirty-set order" `Quick test_dirty_order;
+          Alcotest.test_case "cycle converges" `Quick test_cycle_converges;
+          Alcotest.test_case "cycle diverges" `Quick test_cycle_diverges;
+          Alcotest.test_case "self edge" `Quick test_self_edge;
+        ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "seq" `Quick test_seq;
+          Alcotest.test_case "par" `Quick test_par;
+          Alcotest.test_case "if" `Quick test_if;
+          Alcotest.test_case "hierarchy" `Quick test_hierarchy;
+          Alcotest.test_case "pipelined mult" `Quick test_mult;
+          Alcotest.test_case "reduction tree" `Quick test_reduction_tree;
+          Alcotest.test_case "lowered programs" `Quick test_lowered;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "conflict parity" `Quick test_conflict_parity;
+          Alcotest.test_case "unstable parity" `Quick test_unstable_parity;
+        ] );
+      ( "plumbing",
+        [
+          Alcotest.test_case "engine accessor" `Quick test_engine_accessor;
+          Alcotest.test_case "test-bench write" `Quick test_testbench_write;
+          Alcotest.test_case "iters stat" `Quick test_iters_stat;
+        ] );
+    ]
