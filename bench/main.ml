@@ -775,6 +775,76 @@ let perf () =
     (List.sort (fun (a, _) (b, _) -> compare a b) rows)
 
 (* ------------------------------------------------------------------ *)
+(* Translation validation (calyx_verilog.Vinterp vs calyx_sim)         *)
+(* ------------------------------------------------------------------ *)
+
+(* Corpus-wide RTL-vs-simulator agreement. Every row's cycle counts and
+   agreement flag are deterministic, so the regression mode catches both
+   a divergence (agree drops to 0) and an unexplained schedule change
+   (cycles move). *)
+let validate () =
+  header "Translation validation: emitted RTL vs cycle-accurate simulator";
+  Printf.printf "%-16s %10s %10s %7s %7s %7s\n" "design" "sim-cyc" "rtl-cyc"
+    "regs" "mems" "agree";
+  let disagreements = ref 0 in
+  let emit name (r : Calyx_verilog.Validate.report) =
+    if not r.Calyx_verilog.Validate.ok then incr disagreements;
+    Printf.printf "%-16s %10d %10d %7d %7d %7s\n" name
+      r.Calyx_verilog.Validate.cycles_sim r.Calyx_verilog.Validate.cycles_rtl
+      r.Calyx_verilog.Validate.registers_checked
+      r.Calyx_verilog.Validate.memories_checked
+      (if r.Calyx_verilog.Validate.ok then "yes" else "NO");
+    Record.row
+      [
+        ("design", Json.str name);
+        ("cycles_sim", Json.int r.Calyx_verilog.Validate.cycles_sim);
+        ("cycles_rtl", Json.int r.Calyx_verilog.Validate.cycles_rtl);
+        ("agree", Json.int (if r.Calyx_verilog.Validate.ok then 1 else 0));
+        ("rtl_nets", Json.int r.Calyx_verilog.Validate.nets);
+        ("rtl_procs", Json.int r.Calyx_verilog.Validate.procs);
+      ]
+  in
+  List.iter
+    (fun name ->
+      let k = Polybench.Kernels.find name in
+      let r = Polybench.Harness.run_rtl k ~unrolled:false in
+      if not (Polybench.Harness.rtl_ok r) then incr disagreements;
+      emit name r.Polybench.Harness.report)
+    [ "gemm"; "atax"; "mvt"; "cholesky"; "gramschmidt"; "trisolv" ];
+  List.iter
+    (fun n ->
+      let d = { Systolic.rows = n; cols = n; depth = n; width = 32 } in
+      let lowered = Pipelines.compile (Systolic.generate d) in
+      let load io =
+        for r = 0 to n - 1 do
+          Calyx_sim.Testbench.write_memory_ints io (Systolic.left_memory r)
+            ~width:32
+            (List.init n (fun k -> (((r * 3) + k) mod 9) + 1))
+        done;
+        for c = 0 to n - 1 do
+          Calyx_sim.Testbench.write_memory_ints io (Systolic.top_memory c)
+            ~width:32
+            (List.init n (fun k -> (((k * 5) + c) mod 7) + 1))
+        done
+      in
+      emit
+        (Printf.sprintf "systolic-%dx%d" n n)
+        (Calyx_verilog.Validate.validate ~load lowered))
+    [ 2; 4 ];
+  (* A fixed fuzz sweep: agreement count is a deterministic metric. *)
+  let fuzz_total = 100 in
+  let fuzz_ok = ref 0 in
+  for seed = 0 to fuzz_total - 1 do
+    let lowered = Pipelines.compile (Calyx.Fuzz_gen.program_of_seed seed) in
+    let r = Calyx_verilog.Validate.validate lowered in
+    if r.Calyx_verilog.Validate.ok then incr fuzz_ok
+    else incr disagreements
+  done;
+  Printf.printf "fuzz: %d/%d random programs agree\n" !fuzz_ok fuzz_total;
+  Record.summary "fuzz_agree" (float_of_int !fuzz_ok);
+  Record.summary "disagreements" (float_of_int !disagreements)
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -791,6 +861,7 @@ let experiments =
     ("stats", stats);
     ("engine", engines);
     ("cover", cover);
+    ("validate", validate);
     ("perf", perf);
   ]
 

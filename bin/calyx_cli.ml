@@ -566,6 +566,189 @@ let cover_cmd =
     Term.(const run $ file_arg $ config_term $ mems_term $ json $ spans_term
           $ fail_under $ engine_term)
 
+let validate_cmd =
+  (* Mirrors [load_mems], but through a Testbench.io so the same --mem
+     flags initialize the simulator and the RTL interpreter identically. *)
+  let load_mems_io mems io =
+    List.iter
+      (fun flag ->
+        let name, values = parse_mem_flag flag in
+        let current = io.Calyx_sim.Testbench.read_memory name in
+        let width =
+          if Array.length current = 0 then 32
+          else Calyx.Bitvec.width current.(0)
+        in
+        Calyx_sim.Testbench.write_memory_ints io name ~width values)
+      mems
+  in
+  let comment s =
+    String.concat "\n"
+      (List.map (fun l -> "// " ^ l) (String.split_on_char '\n' s))
+  in
+  let ensure_dir d = if not (Sys.file_exists d) then Sys.mkdir d 0o755 in
+  let run files fuzz seed polybench kernel mems config engine max_cycles
+      cex_dir =
+    let failures = ref 0 in
+    let validate_ctx ~what ?(load = fun _ -> ()) lowered =
+      match
+        Calyx_verilog.Validate.validate ~engine ?max_cycles ~load lowered
+      with
+      | r ->
+          Format.printf "%-24s %a@." what Calyx_verilog.Validate.pp_report r;
+          if not r.Calyx_verilog.Validate.ok then incr failures
+      | exception e ->
+          Format.printf "%-24s CRASH: %s@." what (Printexc.to_string e);
+          incr failures
+    in
+    let code =
+      handle_errors (fun () ->
+          (* Explicit source files. *)
+          List.iter
+            (fun file ->
+              let ctx = parse_source file in
+              let lowered = Calyx.Pipelines.compile ~config ctx in
+              validate_ctx ~what:(Filename.basename file)
+                ~load:(load_mems_io mems) lowered)
+            files;
+          (* PolyBench kernels: both backends additionally checked against
+             the kernel's golden reference. *)
+          if polybench then begin
+            let kernels =
+              match kernel with
+              | Some name -> [ Polybench.Kernels.find name ]
+              | None -> Polybench.Kernels.all
+            in
+            List.iter
+              (fun k ->
+                let name = k.Polybench.Kernels.name in
+                match
+                  Polybench.Harness.run_rtl ~config ~engine ?max_cycles k
+                    ~unrolled:false
+                with
+                | r ->
+                    Format.printf "%-24s %a; ref %s@." name
+                      Calyx_verilog.Validate.pp_report
+                      r.Polybench.Harness.report
+                      (if
+                         r.Polybench.Harness.mismatches_sim = []
+                         && r.Polybench.Harness.mismatches_rtl = []
+                       then "ok"
+                       else "MISMATCH");
+                    if not (Polybench.Harness.rtl_ok r) then incr failures
+                | exception e ->
+                    Format.printf "%-24s CRASH: %s@." name
+                      (Printexc.to_string e);
+                    incr failures)
+              kernels
+          end;
+          (* Random programs; failures are shrunk to a minimal spec and
+             written out as counterexample files. *)
+          if fuzz > 0 then begin
+            let fails spec =
+              match
+                let lowered =
+                  Calyx.Pipelines.compile ~config (Calyx.Fuzz_gen.build spec)
+                in
+                Calyx_verilog.Validate.validate ~engine ?max_cycles lowered
+              with
+              | r ->
+                  if r.Calyx_verilog.Validate.ok then None
+                  else
+                    Some (Format.asprintf "%a" Calyx_verilog.Validate.pp_report r)
+              | exception e -> Some (Printexc.to_string e)
+            in
+            let rec minimize (spec, descr) =
+              match
+                List.find_map
+                  (fun c -> Option.map (fun d -> (c, d)) (fails c))
+                  (Calyx.Fuzz_gen.shrink spec)
+              with
+              | Some smaller -> minimize smaller
+              | None -> (spec, descr)
+            in
+            for i = 0 to fuzz - 1 do
+              let s = seed + i in
+              let spec = Calyx.Fuzz_gen.spec_of_seed s in
+              match fails spec with
+              | None -> ()
+              | Some descr ->
+                  incr failures;
+                  let spec, descr = minimize (spec, descr) in
+                  ensure_dir cex_dir;
+                  let path =
+                    Filename.concat cex_dir (Printf.sprintf "fuzz_%d.futil" s)
+                  in
+                  write_file path
+                    (Printf.sprintf
+                       "// seed: %d\n// spec: %s\n%s\n%s" s
+                       (Calyx.Fuzz_gen.to_string spec)
+                       (comment ("failure: " ^ descr))
+                       (Calyx.Printer.to_string (Calyx.Fuzz_gen.build spec)));
+                  Format.printf
+                    "fuzz seed %d             FAILED: %s@.  minimized \
+                     counterexample (%d nodes): %s@.  written to %s@."
+                    s descr
+                    (Calyx.Fuzz_gen.size spec)
+                    (Calyx.Fuzz_gen.to_string spec)
+                    path
+            done;
+            Format.printf "fuzz: %d program(s) validated from seed %d@." fuzz
+              seed
+          end)
+    in
+    if code <> 0 then code
+    else if !failures > 0 then begin
+      Printf.eprintf "validate: %d failure(s)\n" !failures;
+      1
+    end
+    else 0
+  in
+  let files =
+    Arg.(value & pos_all file [] & info [] ~docv:"FILE" ~doc:"Calyx or Dahlia source files to validate.")
+  in
+  let fuzz =
+    Arg.(
+      value & opt int 0
+      & info [ "fuzz" ] ~docv:"N"
+          ~doc:"Additionally validate $(docv) randomly generated programs.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 2026
+      & info [ "seed" ] ~docv:"S"
+          ~doc:"Base seed for --fuzz (program $(i,i) uses seed S+i).")
+  in
+  let polybench =
+    Arg.(
+      value & flag
+      & info [ "polybench" ]
+          ~doc:"Additionally validate the PolyBench kernels (against each other and the golden references).")
+  in
+  let kernel =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "kernel" ] ~docv:"NAME"
+          ~doc:"With --polybench, validate only this kernel.")
+  in
+  let max_cycles =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-cycles" ] ~docv:"N" ~doc:"Per-run cycle budget.")
+  in
+  let cex_dir =
+    Arg.(
+      value & opt string "counterexamples"
+      & info [ "counterexamples" ] ~docv:"DIR"
+          ~doc:"Directory for minimized failing programs from --fuzz.")
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Translation validation: compile each program through the full pipeline, execute the emitted SystemVerilog with the RTL interpreter and the lowered Calyx with the cycle-accurate simulator on identical inputs, and require exact agreement on cycle count, every register, and every memory. Fuzz failures are shrunk to minimal counterexample programs.")
+    Term.(const run $ files $ fuzz $ seed $ polybench $ kernel $ mems_term
+          $ config_term $ engine_term $ max_cycles $ cex_dir)
+
 let stats_cmd =
   let run file config =
     handle_errors (fun () ->
@@ -610,5 +793,6 @@ let () =
           (Cmd.info "calyx" ~version:"1.0.0" ~doc)
           [
             check_cmd; compile_cmd; interp_cmd; sim_cmd; profile_cmd;
-            cover_cmd; dahlia_cmd; systolic_cmd; polybench_cmd; stats_cmd;
+            cover_cmd; dahlia_cmd; systolic_cmd; polybench_cmd; validate_cmd;
+            stats_cmd;
           ]))

@@ -45,7 +45,7 @@ let physical_name d banks =
   if Dahlia.Lowering.is_banked d then Dahlia.Lowering.bank_name d.decl_name banks
   else d.decl_name
 
-let load prog sim name values =
+let load prog io name values =
   let d = find_decl prog name in
   let size = logical_size d in
   if List.length values <> size then
@@ -70,14 +70,14 @@ let load prog sim name values =
     values;
   Hashtbl.iter
     (fun phys bucket ->
-      let contents = Calyx_sim.Sim.read_memory sim phys in
+      let contents = io.Calyx_sim.Testbench.read_memory phys in
       List.iter
         (fun (off, v) -> contents.(off) <- Calyx.Bitvec.of_int ~width:w v)
         !bucket;
-      Calyx_sim.Sim.write_memory sim phys contents)
+      io.Calyx_sim.Testbench.write_memory phys contents)
     buckets
 
-let read prog sim name =
+let read prog io name =
   let d = find_decl prog name in
   let size = logical_size d in
   let cache : (string, Calyx.Bitvec.t array) Hashtbl.t = Hashtbl.create 8 in
@@ -88,7 +88,7 @@ let read prog sim name =
         match Hashtbl.find_opt cache phys with
         | Some c -> c
         | None ->
-            let c = Calyx_sim.Sim.read_memory sim phys in
+            let c = io.Calyx_sim.Testbench.read_memory phys in
             Hashtbl.add cache phys c;
             c
       in

@@ -2,13 +2,20 @@
 
     Test benches speak in {e logical} arrays (row-major); lowered designs
     may have split banked declarations into several physical memories. This
-    module translates using the original (pre-lowering) declarations. *)
+    module translates using the original (pre-lowering) declarations.
+
+    Data moves through a {!Calyx_sim.Testbench.io}, so the same loader
+    drives the cycle-accurate simulator ({!Calyx_sim.Testbench.of_sim})
+    and the RTL interpreter over the emitted SystemVerilog
+    ([Calyx_verilog.Validate.rtl_io]) identically — the basis of the
+    translation-validation harness. *)
 
 exception Data_error of string
 
-val load : Dahlia.Ast.prog -> Calyx_sim.Sim.t -> string -> int list -> unit
-(** [load prog sim name values] scatters a logical array across its
+val load :
+  Dahlia.Ast.prog -> Calyx_sim.Testbench.io -> string -> int list -> unit
+(** [load prog io name values] scatters a logical array across its
     physical banks. *)
 
-val read : Dahlia.Ast.prog -> Calyx_sim.Sim.t -> string -> int list
+val read : Dahlia.Ast.prog -> Calyx_sim.Testbench.io -> string -> int list
 (** Gather a logical array back from its banks. *)

@@ -17,7 +17,7 @@ let program (k : Kernels.kernel) ~unrolled =
 
 let build k ~unrolled = Dahlia.To_calyx.compile (program k ~unrolled)
 
-let verify (k : Kernels.kernel) prog sim =
+let verify (k : Kernels.kernel) prog io =
   let inputs =
     List.map (fun (name, values) -> (name, Array.of_list values)) k.Kernels.inputs
   in
@@ -30,20 +30,22 @@ let verify (k : Kernels.kernel) prog sim =
   let mismatches =
     List.filter_map
       (fun name ->
-        let got = Array.of_list (Data.read prog sim name) in
+        let got = Array.of_list (Data.read prog io name) in
         let want = List.assoc name expected in
         if got = want then None else Some name)
       k.Kernels.outputs
   in
   mismatches
 
+let load_inputs (k : Kernels.kernel) prog io =
+  List.iter (fun (name, values) -> Data.load prog io name values) k.Kernels.inputs
+
 let execute ?(engine = `Fixpoint) (k : Kernels.kernel) prog ctx =
   let sim = Calyx_sim.Sim.create ~engine ctx in
-  List.iter
-    (fun (name, values) -> Data.load prog sim name values)
-    k.Kernels.inputs;
+  let io = Calyx_sim.Testbench.of_sim sim in
+  load_inputs k prog io;
   let cycles = Calyx_sim.Sim.run sim in
-  let mismatches = verify k prog sim in
+  let mismatches = verify k prog io in
   (cycles, mismatches)
 
 let run ?(config = Calyx.Pipelines.default_config) ?engine k ~unrolled =
@@ -57,6 +59,29 @@ let run ?(config = Calyx.Pipelines.default_config) ?engine k ~unrolled =
     mismatches;
     area = Calyx_synth.Area.context_usage lowered;
   }
+
+type rtl_result = {
+  report : Calyx_verilog.Validate.report;
+  mismatches_sim : string list;
+  mismatches_rtl : string list;
+}
+
+let run_rtl ?(config = Calyx.Pipelines.default_config) ?engine ?max_cycles k
+    ~unrolled =
+  let prog = program k ~unrolled in
+  let ctx = Dahlia.To_calyx.compile prog in
+  let lowered = Calyx.Pipelines.compile ~config ctx in
+  let report =
+    Calyx_verilog.Validate.validate ?engine ?max_cycles
+      ~load:(load_inputs k prog) lowered
+  in
+  let mismatches_sim = verify k prog report.Calyx_verilog.Validate.sim_io in
+  let mismatches_rtl = verify k prog report.Calyx_verilog.Validate.rtl_io in
+  { report; mismatches_sim; mismatches_rtl }
+
+let rtl_ok r =
+  r.report.Calyx_verilog.Validate.ok
+  && r.mismatches_sim = [] && r.mismatches_rtl = []
 
 let run_interp ?engine k ~unrolled =
   let prog = program k ~unrolled in

@@ -43,3 +43,31 @@ val run_interp :
   ?engine:Calyx_sim.Sim.engine -> Kernels.kernel -> unrolled:bool -> result
 (** Execute with the reference interpreter instead of compiling (area is
     measured on the structured program). *)
+
+(** {1 Translation validation} *)
+
+type rtl_result = {
+  report : Calyx_verilog.Validate.report;
+      (** RTL-vs-simulator agreement on cycles and all architectural state. *)
+  mismatches_sim : string list;
+      (** Output memories where the simulator disagrees with the golden
+          reference. *)
+  mismatches_rtl : string list;
+      (** Output memories where the RTL interpreter disagrees with the
+          golden reference. *)
+}
+
+val run_rtl :
+  ?config:Calyx.Pipelines.config ->
+  ?engine:Calyx_sim.Sim.engine ->
+  ?max_cycles:int ->
+  Kernels.kernel ->
+  unrolled:bool ->
+  rtl_result
+(** Compile the kernel, then run the emitted SystemVerilog under the RTL
+    interpreter and the lowered design under the simulator on identical
+    inputs (via the shared bank-aware loader), comparing both against each
+    other and against the kernel's golden reference. *)
+
+val rtl_ok : rtl_result -> bool
+(** Exact RTL/simulator agreement {e and} both match the reference. *)

@@ -1,0 +1,26 @@
+(** Backend-neutral test-bench access.
+
+    A {!io} bundles the four poke/peek operations every execution backend
+    offers — the cycle-accurate simulator ({!Sim}) and the RTL interpreter
+    over the emitted SystemVerilog ([Calyx_verilog.Vinterp]) — so that test
+    benches, data loaders, and the translation-validation harness can be
+    written once and run against either backend. Cells are addressed by the
+    same dotted hierarchical paths as {!Sim}'s test-bench access
+    (e.g. ["pe00.acc"]). *)
+
+open Calyx
+
+type io = {
+  read_register : string -> Bitvec.t;
+  write_register : string -> Bitvec.t -> unit;
+  read_memory : string -> Bitvec.t array;
+  write_memory : string -> Bitvec.t array -> unit;
+}
+
+val of_sim : Sim.t -> io
+(** The simulator's test-bench operations, bundled. *)
+
+val write_memory_ints : io -> string -> width:int -> int list -> unit
+(** Convenience: load integers at the given element width. *)
+
+val read_memory_ints : io -> string -> int list

@@ -1,0 +1,115 @@
+open Calyx
+open Calyx.Ir
+
+type mismatch = {
+  path : string;
+  kind : [ `Cycles | `Register | `Memory ];
+  sim_value : string;
+  rtl_value : string;
+}
+
+type report = {
+  ok : bool;
+  cycles_sim : int;
+  cycles_rtl : int;
+  mismatches : mismatch list;
+  registers_checked : int;
+  memories_checked : int;
+  nets : int;
+  procs : int;
+  sim_io : Calyx_sim.Testbench.io;
+  rtl_io : Calyx_sim.Testbench.io;
+}
+
+let rtl_io v =
+  {
+    Calyx_sim.Testbench.read_register = Vinterp.read_register v;
+    write_register = Vinterp.write_register v;
+    read_memory = Vinterp.read_memory v;
+    write_memory = Vinterp.write_memory v;
+  }
+
+let is_memory = function "std_mem_d1" | "std_mem_d2" -> true | _ -> false
+
+let state_cells ctx =
+  let regs = ref [] and mems = ref [] in
+  let rec walk comp prefix =
+    List.iter
+      (fun c ->
+        let path =
+          if String.equal prefix "" then c.cell_name
+          else prefix ^ "." ^ c.cell_name
+        in
+        match c.cell_proto with
+        | Prim ("std_reg", _) -> regs := path :: !regs
+        | Prim (name, _) when is_memory name -> mems := path :: !mems
+        | Prim _ -> ()
+        | Comp name -> walk (find_component ctx name) path)
+      comp.cells
+  in
+  walk (find_component ctx ctx.entrypoint) "";
+  (List.rev !regs, List.rev !mems)
+
+let mem_to_string vs =
+  String.concat ","
+    (Array.to_list (Array.map (fun v -> Int64.to_string (Bitvec.to_int64 v)) vs))
+
+let validate ?(engine = `Fixpoint) ?max_cycles
+    ?(load = fun (_ : Calyx_sim.Testbench.io) -> ()) ctx =
+  let sv = Verilog.emit ctx in
+  let sim = Calyx_sim.Sim.create ~engine ctx in
+  let rtl = Vinterp.load ~top:ctx.entrypoint sv in
+  let sim_io = Calyx_sim.Testbench.of_sim sim in
+  let rtl_io = rtl_io rtl in
+  load sim_io;
+  load rtl_io;
+  let cycles_sim = Calyx_sim.Sim.run ?max_cycles sim in
+  let cycles_rtl = Vinterp.run ?max_cycles rtl in
+  let regs, mems = state_cells ctx in
+  let mismatches = ref [] in
+  let add path kind sim_value rtl_value =
+    mismatches := { path; kind; sim_value; rtl_value } :: !mismatches
+  in
+  if cycles_sim <> cycles_rtl then
+    add "cycles" `Cycles (string_of_int cycles_sim) (string_of_int cycles_rtl);
+  List.iter
+    (fun path ->
+      let s = sim_io.Calyx_sim.Testbench.read_register path in
+      let r = rtl_io.Calyx_sim.Testbench.read_register path in
+      if not (Bitvec.equal s r) then
+        add path `Register (Bitvec.to_string s) (Bitvec.to_string r))
+    regs;
+  List.iter
+    (fun path ->
+      let s = sim_io.Calyx_sim.Testbench.read_memory path in
+      let r = rtl_io.Calyx_sim.Testbench.read_memory path in
+      if
+        Array.length s <> Array.length r
+        || not (Array.for_all2 Bitvec.equal s r)
+      then add path `Memory (mem_to_string s) (mem_to_string r))
+    mems;
+  let nets, procs = Vinterp.stats rtl in
+  {
+    ok = !mismatches = [];
+    cycles_sim;
+    cycles_rtl;
+    mismatches = List.rev !mismatches;
+    registers_checked = List.length regs;
+    memories_checked = List.length mems;
+    nets;
+    procs;
+    sim_io;
+    rtl_io;
+  }
+
+let pp_report fmt r =
+  Format.fprintf fmt "sim %d cycles, rtl %d cycles; %d registers, %d memories compared (%d nets, %d processes)"
+    r.cycles_sim r.cycles_rtl r.registers_checked r.memories_checked r.nets
+    r.procs;
+  if r.ok then Format.fprintf fmt "; exact agreement"
+  else
+    List.iter
+      (fun m ->
+        Format.fprintf fmt "@.  MISMATCH %s: sim=%s rtl=%s" m.path m.sim_value
+          m.rtl_value)
+      r.mismatches

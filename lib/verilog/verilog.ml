@@ -152,16 +152,13 @@ endmodule
   output logic [WIDTH-1:0] out,
   output logic done
 );
-  logic [WIDTH-1:0] lt, rt;
   logic [%d:0] counter;
   always_ff @(posedge clk) begin
     if (!go) begin counter <= 0; done <= 1'd0; end
     else if (done) begin done <= 1'd0; counter <= 0; end
     else if (counter == %d) begin
-      out <= lt * rt; done <= 1'd1; counter <= 0;
-    end else begin
-      lt <= left; rt <= right; counter <= counter + 1;
-    end
+      out <= left * right; done <= 1'd1; counter <= 0;
+    end else counter <= counter + 1;
   end
 endmodule
 |}
@@ -200,14 +197,20 @@ endmodule
   output logic [WIDTH-1:0] out,
   output logic done
 );
-  // Behavioural model; an iterative implementation is substituted during
-  // synthesis. Latency here is a fixed two cycles for simulation parity.
-  logic pending;
+  // Behavioural model with the data-dependent latency of an iterative
+  // square-root unit: one cycle per two significant bits of the operand,
+  // at least two cycles — the same schedule the simulator's model uses.
+  // acc enters edge k holding in >> 2(k-1); done fires at the first edge
+  // k >= 2 with (acc >> 2) == 0, i.e. after max(2, ceil(bits(in)/2)) edges.
+  logic running;
+  logic [WIDTH-1:0] acc;
   always_ff @(posedge clk) begin
-    if (!go) begin pending <= 1'd0; done <= 1'd0; end
-    else if (done) begin done <= 1'd0; pending <= 1'd0; end
-    else if (pending) begin out <= $sqrt(in); done <= 1'd1; end
-    else pending <= 1'd1;
+    if (!go) begin running <= 1'd0; done <= 1'd0; end
+    else if (done) begin done <= 1'd0; running <= 1'd0; end
+    else if (!running) begin running <= 1'd1; acc <= in >> 2; end
+    else if (acc >> 2 == 0) begin
+      out <= $sqrt(in); done <= 1'd1; running <= 1'd0;
+    end else acc <= acc >> 2;
   end
 endmodule
 |}

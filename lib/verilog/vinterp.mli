@@ -1,0 +1,86 @@
+(** A cycle-accurate interpreter for the SystemVerilog subset {!Verilog}
+    emits — the execution half of the translation-validation story.
+
+    The emitted RTL is parsed (a small recursive-descent front end over the
+    synthesizable subset the emitter produces: module headers with
+    parameters, [logic] net and array declarations, continuous [assign]s,
+    [always_ff @(posedge clk)] and [always_comb] blocks, hierarchical
+    instances with named parameter/port bindings), elaborated into one flat
+    design — every instance's nets named by its dotted hierarchical path,
+    parameters bound, constant expressions folded — and then simulated with
+    the same per-cycle discipline as {!Calyx_sim.Sim}: continuous
+    assignments and [always_comb] blocks settle to a fixpoint (evaluated in
+    a dependency-levelized order, with a divergence budget that raises
+    {!Unstable} on combinational cycles that do not converge), then all
+    [always_ff] blocks execute with non-blocking semantics — right-hand
+    sides read pre-edge values, all updates commit atomically.
+
+    Expression evaluation uses self-determined widths: every net and sized
+    literal carries its declared width, binary operators extend to the
+    wider operand, comparisons produce one bit, concatenation and
+    replication sum widths, and assignment truncates or zero-extends to the
+    target. Unsized literals and ['1] evaluate at 64 bits, matching
+    {!Calyx.Bitvec.max_width}. All state is two-valued and starts at zero,
+    like the simulator. [$sqrt] is interpreted as the integer square root
+    ({!Calyx_sim.Prim_state.isqrt}), the same function the simulator's
+    [std_sqrt] model computes. *)
+
+exception Parse_error of string
+(** The source is outside the supported subset (with a line number). *)
+
+exception Elab_error of string
+(** Elaboration failed: unknown module, unbound name, non-constant range,
+    multiple drivers on one net, or similar. *)
+
+exception Unstable of { cycle : int; message : string }
+(** The combinational settle did not converge within the iteration budget
+    (same discipline as {!Calyx_sim.Sim.Unstable}). *)
+
+exception Timeout of { budget : int }
+(** {!run} exceeded its cycle budget without observing [done]. *)
+
+type t
+(** An elaborated design plus its simulation state. *)
+
+val load : ?max_fixpoint_iters:int -> top:string -> string -> t
+(** [load ~top source] parses [source] and elaborates module [top] (the
+    design's entrypoint, instantiated at the empty hierarchical path).
+    [max_fixpoint_iters] bounds settle passes per cycle (default 1000). *)
+
+(** {1 The [go]/[done] test-bench convention} *)
+
+val run : ?max_cycles:int -> t -> int
+(** Drive the top-level [go] input high and simulate until the design
+    presents [done]; returns the latency in cycles, the done cycle
+    included — the exact counting convention of {!Calyx_sim.Sim.run}.
+    [max_cycles] defaults to 5,000,000. *)
+
+val cycle : t -> unit
+(** Advance one clock: settle, then commit every [always_ff] block. *)
+
+val cycles_elapsed : t -> int
+
+val set_input : t -> string -> Calyx.Bitvec.t -> unit
+(** Set a top-level input port (held until changed). *)
+
+val read_output : t -> string -> Calyx.Bitvec.t
+(** A top-level output, as of the last settle. *)
+
+(** {1 Poke/peek by hierarchical path}
+
+    Registers and memories are addressed by the same dotted cell paths as
+    {!Calyx_sim.Sim}: register [r] in the entry component is ["r"], and its
+    value lives in the elaborated net ["r.out"]; a memory cell [m]'s
+    contents are the array ["m.mem"] of its instance. *)
+
+val read_register : t -> string -> Calyx.Bitvec.t
+val write_register : t -> string -> Calyx.Bitvec.t -> unit
+val read_memory : t -> string -> Calyx.Bitvec.t array
+val write_memory : t -> string -> Calyx.Bitvec.t array -> unit
+
+(** {1 Introspection} *)
+
+val stats : t -> int * int
+(** [(nets, processes)] of the elaborated design: flattened net count and
+    the number of evaluation processes (continuous assigns, comb blocks,
+    ff blocks). *)

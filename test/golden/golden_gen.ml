@@ -1,0 +1,25 @@
+(* Deterministic renderer behind the golden-file snapshot tests: prints
+   either the structured program (the `calyx compile --emit calyx` view)
+   or the fully lowered SystemVerilog for a source file. The dune rules
+   diff its output against checked-in .expected files; `dune promote`
+   accepts intentional changes. *)
+
+let parse file =
+  if Filename.check_suffix file ".dahlia" then begin
+    let ic = open_in file in
+    let src = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    Dahlia.To_calyx.compile (Dahlia.Parser.parse_string src)
+  end
+  else Calyx.Parser.parse_file file
+
+let () =
+  match Sys.argv with
+  | [| _; "print"; file |] ->
+      print_string (Calyx.Printer.to_string (parse file))
+  | [| _; "verilog"; file |] ->
+      print_string
+        (Calyx_verilog.Verilog.emit (Calyx.Pipelines.compile (parse file)))
+  | _ ->
+      prerr_endline "usage: golden_gen (print|verilog) FILE";
+      exit 2

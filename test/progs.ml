@@ -265,175 +265,20 @@ let unstable_program () =
 
 (* Random well-formed, race-free, terminating programs — shared between
    the differential fuzzer (test_random) and the observability tests
-   (test_obs). See test_random.ml for the construction invariants. *)
+   (test_obs). The generator itself now lives in Calyx.Fuzz_gen (it is a
+   shrinkable spec-based generator used by `calyx validate --fuzz` too);
+   this module keeps the historical entry point.
+
+   Construction invariants (enforced by Fuzz_gen.build):
+   - every action group writes its own dedicated register, and groups may
+     only read registers whose (unique) writer is sequentially before
+     them — never a register written by a sibling [par] branch;
+   - every [while] loop owns a dedicated counter register incremented
+     once per iteration with a strict bound (so programs terminate);
+   - [if] conditions compare a readable register against a constant via a
+     combinational condition group. *)
 module Fuzz = struct
-  let width = 8
-
-  type gen = {
-    st : Random.State.t;
-    mutable cells : cell list;
-    mutable groups : group list;
-    mutable reg_count : int;
-    mutable group_count : int;
-    mutable cell_count : int;
-  }
-
-  let fresh_reg g =
-    let name = Printf.sprintf "r%d" g.reg_count in
-    g.reg_count <- g.reg_count + 1;
-    g.cells <- reg name width :: g.cells;
-    name
-
-  let fresh_cell g prim_name params =
-    let name = Printf.sprintf "c%d" g.cell_count in
-    g.cell_count <- g.cell_count + 1;
-    g.cells <- prim name prim_name params :: g.cells;
-    name
-
-  let fresh_group g base assigns =
-    let name = Printf.sprintf "%s%d" base g.group_count in
-    g.group_count <- g.group_count + 1;
-    let assigns = assigns name in
-    g.groups <- group name assigns :: g.groups;
-    name
-
-  (* A random source: a constant, another register, or a sum. *)
-  let gen_source g readable =
-    match Random.State.int g.st 3 with
-    | 0 -> (lit ~width (Random.State.int g.st 200), [])
-    | 1 when readable <> [] ->
-        let r = List.nth readable (Random.State.int g.st (List.length readable)) in
-        (pa r "out", [])
-    | _ ->
-        let adder = fresh_cell g "std_add" [ width ] in
-        let a =
-          if readable <> [] && Random.State.bool g.st then
-            pa (List.nth readable (Random.State.int g.st (List.length readable))) "out"
-          else lit ~width (Random.State.int g.st 100)
-        in
-        let b = lit ~width (1 + Random.State.int g.st 50) in
-        ( pa adder "out",
-          [ assign (port adder "left") a; assign (port adder "right") b ] )
-
-  (* A combinational condition group comparing a register to a constant. *)
-  let gen_cond g readable =
-    let cmp = fresh_cell g "std_lt" [ width ] in
-    let lhs =
-      if readable <> [] then
-        pa (List.nth readable (Random.State.int g.st (List.length readable))) "out"
-      else lit ~width 0
-    in
-    let name =
-      fresh_group g "cnd" (fun name ->
-          [
-            assign (port cmp "left") lhs;
-            assign (port cmp "right") (lit ~width (Random.State.int g.st 120));
-            assign (hole name "done") (bit true);
-          ])
-    in
-    (name, Cell_port (cmp, "out"))
-
-  (* [safe] is the set of registers whose writer has definitely completed
-     before this subtree runs: the only registers a subtree may read. *)
-  let rec gen_ctrl g safe depth =
-    let choice =
-      if depth = 0 then 0 else Random.State.int g.st 10
-    in
-    match choice with
-    | 0 | 1 | 2 | 3 ->
-        let target = ref "" in
-        let ctrl =
-          enable
-            (let t, c = gen_action_t g safe in
-             target := t;
-             c)
-        in
-        (ctrl, [ !target ])
-    | 4 | 5 ->
-        (* seq: earlier children's writes become readable by later ones. *)
-        let k = 1 + Random.State.int g.st 3 in
-        let rec go i safe written =
-          if i = k then ([], written)
-          else begin
-            let c, w = gen_ctrl g safe (depth - 1) in
-            let rest, written' = go (i + 1) (safe @ w) (written @ w) in
-            (c :: rest, written')
-          end
-        in
-        let cs, written = go 0 safe [] in
-        (seq cs, written)
-    | 6 | 7 ->
-        (* par: siblings must not observe each other's writes. *)
-        let k = 1 + Random.State.int g.st 3 in
-        let children = List.init k (fun _ -> gen_ctrl g safe (depth - 1)) in
-        (par (List.map fst children), List.concat_map snd children)
-    | 8 ->
-        let cond, port = gen_cond g safe in
-        let t, wt = gen_ctrl g safe (depth - 1) in
-        let f, wf =
-          if Random.State.bool g.st then gen_ctrl g safe (depth - 1)
-          else (Empty, [])
-        in
-        (if_ ~cond port t f, wt @ wf)
-    | _ ->
-        (* A bounded while: counter < bound, body increments the counter. *)
-        let counter = fresh_reg g in
-        let bound = 1 + Random.State.int g.st 4 in
-        let adder = fresh_cell g "std_add" [ width ] in
-        let incr =
-          fresh_group g "inc" (fun name ->
-              [
-                assign (port adder "left") (pa counter "out");
-                assign (port adder "right") (lit ~width 1);
-                assign (port counter "in") (pa adder "out");
-                assign (port counter "write_en") (bit true);
-                assign (hole name "done") (pa counter "done");
-              ])
-        in
-        let cmp = fresh_cell g "std_lt" [ width ] in
-        let cond =
-          fresh_group g "cnd" (fun name ->
-              [
-                assign (port cmp "left") (pa counter "out");
-                assign (port cmp "right") (lit ~width bound);
-                assign (hole name "done") (bit true);
-              ])
-        in
-        let body, wb = gen_ctrl g (counter :: safe) (depth - 1) in
-        ( while_ ~cond (Cell_port (cmp, "out")) (seq [ body; enable incr ]),
-          counter :: wb )
-
-  and gen_action_t g safe =
-    let target = fresh_reg g in
-    let src, extra = gen_source g safe in
-    let name =
-      fresh_group g "act" (fun name ->
-          extra
-          @ [
-              assign (port target "in") src;
-              assign (port target "write_en") (bit true);
-              assign (hole name "done") (pa target "done");
-            ])
-    in
-    (target, name)
-
-  let gen_program seed =
-    let g =
-      {
-        st = Random.State.make [| seed |];
-        cells = [];
-        groups = [];
-        reg_count = 0;
-        group_count = 0;
-        cell_count = 0;
-      }
-    in
-    let control, _ = gen_ctrl g [] 3 in
-    let main =
-      component "main"
-      |> with_cells (List.rev g.cells)
-      |> with_groups (List.rev g.groups)
-      |> with_control control
-    in
-    context [ main ]
+  let width = Calyx.Fuzz_gen.width
+  let gen_program = Calyx.Fuzz_gen.program_of_seed
 end
+

@@ -43,6 +43,62 @@ let test_64bit () =
   let top = Bitvec.make ~width:64 Int64.min_int in
   Alcotest.(check bool) "msb set is large" true (Bitvec.is_true (Bitvec.gt top (Bitvec.one 64)))
 
+(* Boundary widths (1, 63, 64) and values with the Int64 sign bit set:
+   every operation must behave as an unsigned bit vector even where a
+   naive signed Int64 implementation would flip sign. *)
+let test_width_one () =
+  let z = Bitvec.zero 1 and o = Bitvec.one 1 in
+  Alcotest.(check bool) "1 + 1 wraps to 0" true (Bitvec.is_zero (Bitvec.add o o));
+  Alcotest.(check bool) "0 - 1 wraps to 1" true
+    (Bitvec.equal (Bitvec.sub z o) o);
+  Alcotest.(check bool) "~0 = 1" true (Bitvec.equal (Bitvec.lognot z) o);
+  Alcotest.(check bool) "ones(1) = 1" true (Bitvec.equal (Bitvec.ones 1) o);
+  Alcotest.(check bool) "0 < 1" true (Bitvec.is_true (Bitvec.lt z o));
+  Alcotest.(check int64) "1/1" 1L (Bitvec.to_int64 (Bitvec.div o o));
+  Alcotest.(check int64) "1/0 is all-ones" 1L (Bitvec.to_int64 (Bitvec.div o z));
+  Alcotest.(check int64) "1<<1 flushes" 0L
+    (Bitvec.to_int64 (Bitvec.shift_left o o))
+
+let test_width_63 () =
+  let top = Bitvec.make ~width:63 Int64.max_int in
+  (* 2^63 - 1 truncated to 63 bits is all-ones at that width. *)
+  Alcotest.(check bool) "max_int is ones(63)" true
+    (Bitvec.equal top (Bitvec.ones 63));
+  Alcotest.(check bool) "ones + 1 wraps" true
+    (Bitvec.is_zero (Bitvec.add top (Bitvec.one 63)));
+  (* -1L masked to 63 bits must drop bit 63, not stay negative. *)
+  Alcotest.(check int64) "make masks bit 63" Int64.max_int
+    (Bitvec.to_int64 (Bitvec.make ~width:63 (-1L)));
+  Alcotest.(check int64) "msb-set shr 62" 1L
+    (Bitvec.to_int64 (Bitvec.shift_right top (Bitvec.make ~width:63 62L)))
+
+let test_signed_edges () =
+  (* At width 64 the unsigned values 2^63.. have the Int64 sign bit set:
+     division, remainder, shifting, and ordering must all stay unsigned. *)
+  let top = Bitvec.make ~width:64 Int64.min_int in
+  let two = Bitvec.make ~width:64 2L in
+  Alcotest.(check int64) "2^63 / 2" 0x4000_0000_0000_0000L
+    (Bitvec.to_int64 (Bitvec.div top two));
+  Alcotest.(check int64) "2^63 mod 2" 0L (Bitvec.to_int64 (Bitvec.rem top two));
+  Alcotest.(check int64) "all-ones / 2^63" 1L
+    (Bitvec.to_int64 (Bitvec.div (Bitvec.ones 64) top));
+  Alcotest.(check int64) "all-ones mod 2^63" Int64.max_int
+    (Bitvec.to_int64 (Bitvec.rem (Bitvec.ones 64) top));
+  Alcotest.(check int64) "msb-set >> 1 is logical" 0x4000_0000_0000_0000L
+    (Bitvec.to_int64 (Bitvec.shift_right top (Bitvec.one 64)));
+  Alcotest.(check bool) "2 < 2^63 unsigned" true
+    (Bitvec.is_true (Bitvec.lt two top));
+  Alcotest.(check bool) "2^63 >= all-ones is false" false
+    (Bitvec.is_true (Bitvec.ge top (Bitvec.ones 64)));
+  (* mul keeps the low 64 bits: (2^63) * 3 = 2^63 (mod 2^64). *)
+  Alcotest.(check int64) "mul wraps at 64" Int64.min_int
+    (Bitvec.to_int64 (Bitvec.mul top (Bitvec.make ~width:64 3L)));
+  (* 63 + 1 = 64 is the only legal concat reaching max_width. *)
+  Alcotest.(check int64) "concat to 64 bits" (-2L)
+    (Bitvec.to_int64 (Bitvec.concat (Bitvec.ones 63) (Bitvec.zero 1)));
+  Alcotest.(check int64) "truncate 64 -> 1 takes the low bit" 1L
+    (Bitvec.to_int64 (Bitvec.truncate (Bitvec.ones 64) 1))
+
 let test_shifts () =
   Alcotest.(check int64) "shl" 40L (Bitvec.to_int64 (Bitvec.shift_left (bv 8 10) (bv 8 2)));
   Alcotest.(check int64) "shl overflow" 0L (Bitvec.to_int64 (Bitvec.shift_left (bv 8 1) (bv 8 8)));
@@ -69,6 +125,28 @@ let arb_pair_same_width =
       let* a = map Int64.of_int (int_bound 1_000_000) in
       let* b = map Int64.of_int (int_bound 1_000_000) in
       return (w, a, b))
+
+(* Full-range values at the boundary widths, where the Int64 sign bit
+   participates: the div/rem reconstruction identity must hold unsigned. *)
+let arb_boundary =
+  QCheck.make
+    ~print:(fun (w, a, b) -> Printf.sprintf "w=%d a=%Ld b=%Ld" w a b)
+    QCheck.Gen.(
+      let* w = oneofl [ 1; 63; 64 ] in
+      let* a = map Int64.of_int (int_bound max_int) in
+      let* hi = bool in
+      let a = if hi then Int64.logor a Int64.min_int else a in
+      let* b = map Int64.of_int (int_bound max_int) in
+      return (w, a, b))
+
+let prop_div_rem_boundary =
+  QCheck.Test.make ~name:"a = (a/b)*b + a%%b at widths 1/63/64" ~count:500
+    arb_boundary
+    (fun (w, a, b) ->
+      let x = Bitvec.make ~width:w a and y = Bitvec.make ~width:w b in
+      Bitvec.is_zero y
+      || Bitvec.equal x
+           (Bitvec.add (Bitvec.mul (Bitvec.div x y) y) (Bitvec.rem x y)))
 
 let prop_add_commutes =
   QCheck.Test.make ~name:"add commutes" ~count:500 arb_pair_same_width
@@ -116,6 +194,10 @@ let () =
           Alcotest.test_case "width mismatch" `Quick test_width_mismatch;
           Alcotest.test_case "unsigned comparisons" `Quick test_cmp_unsigned;
           Alcotest.test_case "64-bit edge cases" `Quick test_64bit;
+          Alcotest.test_case "width-1 boundary" `Quick test_width_one;
+          Alcotest.test_case "width-63 boundary" `Quick test_width_63;
+          Alcotest.test_case "sign-bit-set unsigned semantics" `Quick
+            test_signed_edges;
           Alcotest.test_case "shifts" `Quick test_shifts;
           Alcotest.test_case "resize and concat" `Quick test_resize;
           Alcotest.test_case "printing" `Quick test_pp;
@@ -126,6 +208,7 @@ let () =
             prop_add_commutes;
             prop_sub_inverse;
             prop_div_rem;
+            prop_div_rem_boundary;
             prop_lognot_involutive;
             prop_cmp_total;
           ] );

@@ -260,7 +260,7 @@ let test_data_roundtrip () =
       let src = decl ^ "\ndecl out: ubit<32>[1];\nout[0] := 1" in
       let prog = Dahlia.Parser.parse_string src in
       let ctx = Pipelines.compile (Dahlia.To_calyx.compile prog) in
-      let sim = Calyx_sim.Sim.create ctx in
+      let sim = Calyx_sim.Testbench.of_sim (Calyx_sim.Sim.create ctx) in
       let d =
         List.find (fun d -> d.Dahlia.Ast.decl_name = "a") prog.Dahlia.Ast.decls
       in

@@ -279,7 +279,7 @@ let check_neutral seed =
 
 let prop_tracing_neutral =
   QCheck.Test.make ~name:"tracing never changes simulation results" ~count:40
-    QCheck.(make ~print:string_of_int Gen.(int_bound 1_000_000))
+    (Fuzz_seed.seed_arb "obs-tracing-neutral")
     check_neutral
 
 let test_neutral_fixed_seeds () =

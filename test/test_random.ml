@@ -100,7 +100,7 @@ let check_seed seed =
 
 let prop_differential =
   QCheck.Test.make ~name:"random programs: compiled = interpreted" ~count:60
-    QCheck.(make ~print:string_of_int Gen.(int_bound 1_000_000))
+    (Fuzz_seed.seed_arb "random-differential")
     check_seed
 
 (* A wider engine-only sweep (no compilation, so it is cheap): together
@@ -108,7 +108,7 @@ let prop_differential =
    well over 500 random programs under both engines per run. *)
 let prop_engines =
   QCheck.Test.make ~name:"scheduled engine = fixpoint engine" ~count:300
-    QCheck.(make ~print:string_of_int Gen.(int_bound 1_000_000))
+    (Fuzz_seed.seed_arb "random-engines")
     (fun seed ->
       let ctx = gen_program seed in
       let regs =
@@ -125,7 +125,7 @@ let prop_engines =
 let prop_roundtrip =
   QCheck.Test.make ~name:"random programs round-trip through the parser"
     ~count:40
-    QCheck.(make ~print:string_of_int Gen.(int_bound 1_000_000))
+    (Fuzz_seed.seed_arb "random-roundtrip")
     (fun seed ->
       let ctx = gen_program seed in
       let text = Printer.to_string ctx in
@@ -136,7 +136,7 @@ let prop_roundtrip =
    must accept them without a single diagnostic... *)
 let prop_lint_clean =
   QCheck.Test.make ~name:"random programs lint clean" ~count:60
-    QCheck.(make ~print:string_of_int Gen.(int_bound 1_000_000))
+    (Fuzz_seed.seed_arb "random-lint")
     (fun seed -> Lint.diagnostics (gen_program seed) = [])
 
 (* ...and compilation must not introduce error-severity diagnostics either
@@ -145,7 +145,7 @@ let prop_lint_clean =
 let prop_lowered_error_free =
   QCheck.Test.make ~name:"lowered random programs have no lint errors"
     ~count:30
-    QCheck.(make ~print:string_of_int Gen.(int_bound 1_000_000))
+    (Fuzz_seed.seed_arb "random-lowered-lint")
     (fun seed ->
       List.for_all
         (fun (_, config) ->
@@ -156,7 +156,7 @@ let prop_lowered_error_free =
 (* And the area model prices every random design without raising. *)
 let prop_area_total =
   QCheck.Test.make ~name:"random programs have sane area" ~count:30
-    QCheck.(make ~print:string_of_int Gen.(int_bound 1_000_000))
+    (Fuzz_seed.seed_arb "random-area")
     (fun seed ->
       let ctx = Pipelines.compile (gen_program seed) in
       let u = Calyx_synth.Area.context_usage ctx in

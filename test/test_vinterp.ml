@@ -1,0 +1,405 @@
+(* Translation validation: the emitted SystemVerilog, executed by the RTL
+   interpreter (Calyx_verilog.Vinterp), must agree exactly with the
+   cycle-accurate simulator on every program the compiler can produce —
+   same cycle count, same final value in every register, same final
+   contents of every memory.
+
+   The corpus: every example source, all PolyBench kernels (including the
+   div/sqrt ones, which exercise the data-dependent-latency pipes),
+   systolic arrays, and randomly generated programs. Random failures
+   shrink to minimized counterexample programs via Calyx.Fuzz_gen. *)
+
+open Calyx
+module V = Calyx_verilog.Vinterp
+module Validate = Calyx_verilog.Validate
+
+let example file =
+  List.find Sys.file_exists
+    [ "../examples/sources/" ^ file; "examples/sources/" ^ file ]
+
+(* ------------------------------------------------------------------ *)
+(* RTL interpreter unit tests on handwritten SystemVerilog             *)
+(* ------------------------------------------------------------------ *)
+
+(* Drive a purely combinational module: set inputs, settle once (via
+   [cycle]; there is nothing to commit), read outputs. *)
+let comb src ins outs =
+  let d = V.load ~top:"main" src in
+  List.iter (fun (n, v) -> V.set_input d n (Bitvec.of_int ~width:64 v)) ins;
+  V.cycle d;
+  List.map (fun n -> Bitvec.to_int (V.read_output d n)) outs
+
+let test_comb_ops () =
+  let src =
+    {|
+module main(
+  input logic [7:0] a,
+  input logic [7:0] b,
+  output logic [7:0] sum,
+  output logic [7:0] dif,
+  output logic [7:0] shr,
+  output logic lt,
+  output logic eq,
+  output logic [15:0] cat,
+  output logic [7:0] mux,
+  output logic [7:0] inv
+);
+assign sum = a + b;
+assign dif = a - b;
+assign shr = a >> b;
+assign lt = a < b;
+assign eq = a == b;
+assign cat = {a, b};
+assign mux = a < b ? a : b;
+assign inv = ~a;
+endmodule
+|}
+  in
+  let got =
+    comb src
+      [ ("a", 200); ("b", 70) ]
+      [ "sum"; "dif"; "shr"; "lt"; "eq"; "cat"; "mux"; "inv" ]
+  in
+  (* Widths are self-determined at 8 bits: sum wraps, dif wraps, shift by
+     70 flushes to zero, concat is 16 bits, ~ stays in width. *)
+  Alcotest.(check (list int))
+    "combinational operator semantics"
+    [ 14; 130; 0; 0; 0; (200 * 256) + 70; 70; 55 ]
+    got
+
+let test_comb_divmod () =
+  let src =
+    {|
+module main(
+  input logic [7:0] a,
+  input logic [7:0] b,
+  output logic [7:0] quo,
+  output logic [7:0] rem
+);
+assign quo = a / b;
+assign rem = a % b;
+endmodule
+|}
+  in
+  Alcotest.(check (list int))
+    "division" [ 14; 2 ]
+    (comb src [ ("a", 44); ("b", 3) ] [ "quo"; "rem" ]);
+  (* Division by zero: all-ones quotient, dividend remainder — matching
+     Bitvec (and thus the simulator's primitives). *)
+  Alcotest.(check (list int))
+    "division by zero" [ 255; 44 ]
+    (comb src [ ("a", 44); ("b", 0) ] [ "quo"; "rem" ])
+
+let test_always_comb_if () =
+  let src =
+    {|
+module main(input logic [3:0] s, output logic [7:0] o);
+always_comb begin
+  if (s == 4'd0) o = 8'd10;
+  else if (s == 4'd1) o = 8'd20;
+  else o = 8'd99;
+end
+endmodule
+|}
+  in
+  Alcotest.(check (list int)) "branch 0" [ 10 ] (comb src [ ("s", 0) ] [ "o" ]);
+  Alcotest.(check (list int)) "branch 1" [ 20 ] (comb src [ ("s", 1) ] [ "o" ]);
+  Alcotest.(check (list int)) "default" [ 99 ] (comb src [ ("s", 7) ] [ "o" ])
+
+let test_nonblocking_commit () =
+  (* x <= y; y <= x + 1 must read pre-edge values: a swap chain, not a
+     ripple. From zero: (0,1) (1,1) (1,2) (2,2) ... *)
+  let src =
+    {|
+module main(input logic clk, output logic [7:0] x, output logic [7:0] y);
+always_ff @(posedge clk) begin
+  x <= y;
+  y <= x + 8'd1;
+end
+endmodule
+|}
+  in
+  let d = V.load ~top:"main" src in
+  let shot () =
+    (Bitvec.to_int (V.read_output d "x"), Bitvec.to_int (V.read_output d "y"))
+  in
+  V.cycle d;
+  Alcotest.(check (pair int int)) "edge 1" (0, 1) (shot ());
+  V.cycle d;
+  Alcotest.(check (pair int int)) "edge 2" (1, 1) (shot ());
+  V.cycle d;
+  Alcotest.(check (pair int int)) "edge 3" (1, 2) (shot ())
+
+let test_ff_counter () =
+  let src =
+    {|
+module main(input logic clk, output logic [3:0] n);
+always_ff @(posedge clk) n <= n + 4'd1;
+endmodule
+|}
+  in
+  let d = V.load ~top:"main" src in
+  for _ = 1 to 20 do
+    V.cycle d
+  done;
+  (* 20 mod 16: the target width truncates the committed value. *)
+  Alcotest.(check int) "counter wraps at width" 4
+    (Bitvec.to_int (V.read_output d "n"))
+
+let test_unstable () =
+  let src = {|
+module main(output logic x);
+assign x = ~x;
+endmodule
+|} in
+  let d = V.load ~top:"main" src in
+  Alcotest.check_raises "combinational cycle diverges"
+    (V.Unstable { cycle = 0; message = "combinational settle did not converge" })
+    (fun () -> V.cycle d)
+
+let test_double_driver () =
+  let src =
+    {|
+module main(output logic [3:0] x);
+assign x = 4'd1;
+assign x = 4'd2;
+endmodule
+|}
+  in
+  Alcotest.(check bool) "double driver rejected" true
+    (match V.load ~top:"main" src with
+    | exception V.Elab_error _ -> true
+    | _ -> false)
+
+let test_parse_error () =
+  Alcotest.(check bool) "garbage rejected" true
+    (match V.load ~top:"main" "module main(; endmodule" with
+    | exception V.Parse_error _ -> true
+    | _ -> false)
+
+let test_hierarchy_params () =
+  (* Parameterized instantiation: the child's width comes from the
+     binding, and port connections drive both directions. *)
+  let src =
+    {|
+module widen #(parameter W = 4)(input logic [W-1:0] i, output logic [2*W-1:0] o);
+assign o = {{W{1'b0}}, i} * {{W{1'b0}}, i};
+endmodule
+module main(input logic [7:0] a, output logic [15:0] sq);
+widen #(.W(8)) w (.i(a), .o(sq));
+endmodule
+|}
+  in
+  (* Widths are self-determined, so the source widens the operands to
+     2W explicitly before multiplying (as the emitter does). W = 8 must
+     flow from the binding: under the default W = 4, [i] would truncate
+     to 4 bits and the result would differ. *)
+  Alcotest.(check (list int))
+    "parameter binding" [ 225 * 225 ]
+    (comb src [ ("a", 225) ] [ "sq" ])
+
+(* ------------------------------------------------------------------ *)
+(* Differential validation over the corpus                             *)
+(* ------------------------------------------------------------------ *)
+
+let check_ok what (r : Validate.report) =
+  if not r.Validate.ok then
+    Alcotest.failf "%s: %s" what
+      (Format.asprintf "%a" Validate.pp_report r)
+
+let parse_example file =
+  let path = example file in
+  if Filename.check_suffix path ".dahlia" then begin
+    let ic = open_in path in
+    let src = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    Dahlia.To_calyx.compile (Dahlia.Parser.parse_string src)
+  end
+  else Parser.parse_file path
+
+let test_examples () =
+  List.iter
+    (fun file ->
+      let lowered = Pipelines.compile (parse_example file) in
+      check_ok file (Validate.validate lowered))
+    [ "counter.futil"; "invoke.futil"; "dotprod.dahlia"; "histogram.dahlia" ]
+
+(* Pass-configuration sweep: the RTL must track the simulator under every
+   pipeline variant, not just the default. *)
+let test_example_configs () =
+  let ctx = parse_example "dotprod.dahlia" in
+  List.iter
+    (fun (name, config) ->
+      let lowered = Pipelines.compile ~config ctx in
+      check_ok ("dotprod/" ^ name) (Validate.validate lowered))
+    [
+      ("insensitive", Pipelines.insensitive_config);
+      ( "no-sharing",
+        {
+          Pipelines.default_config with
+          Pipelines.resource_sharing = false;
+          register_sharing = false;
+        } );
+      ("default", Pipelines.default_config);
+    ]
+
+let test_polybench_all () =
+  List.iter
+    (fun k ->
+      let r = Polybench.Harness.run_rtl k ~unrolled:false in
+      if not (Polybench.Harness.rtl_ok r) then
+        Alcotest.failf "%s: %s%s" k.Polybench.Kernels.name
+          (Format.asprintf "%a" Validate.pp_report r.Polybench.Harness.report)
+          (match
+             (r.Polybench.Harness.mismatches_sim,
+              r.Polybench.Harness.mismatches_rtl)
+           with
+          | [], [] -> ""
+          | s, rt ->
+              Printf.sprintf "; ref mismatches sim=[%s] rtl=[%s]"
+                (String.concat "," s) (String.concat "," rt)))
+    Polybench.Kernels.all
+
+let test_polybench_unrolled () =
+  List.iter
+    (fun k ->
+      let r = Polybench.Harness.run_rtl k ~unrolled:true in
+      if not (Polybench.Harness.rtl_ok r) then
+        Alcotest.failf "%s (unrolled) diverged" k.Polybench.Kernels.name)
+    Polybench.Kernels.unrollable
+
+let test_systolic () =
+  List.iter
+    (fun (rows, cols, depth) ->
+      let d = { Systolic.rows; cols; depth; width = 32 } in
+      let lowered = Pipelines.compile (Systolic.generate d) in
+      let load io =
+        for r = 0 to rows - 1 do
+          Calyx_sim.Testbench.write_memory_ints io (Systolic.left_memory r)
+            ~width:32
+            (List.init depth (fun k -> r + k + 1))
+        done;
+        for c = 0 to cols - 1 do
+          Calyx_sim.Testbench.write_memory_ints io (Systolic.top_memory c)
+            ~width:32
+            (List.init depth (fun k -> (2 * k) + c + 1))
+        done
+      in
+      check_ok
+        (Printf.sprintf "systolic %dx%dx%d" rows cols depth)
+        (Validate.validate ~load lowered))
+    [ (1, 1, 2); (2, 2, 3); (3, 3, 4) ]
+
+(* ------------------------------------------------------------------ *)
+(* Random programs                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let validates spec =
+  let lowered = Pipelines.compile (Fuzz_gen.build spec) in
+  (Validate.validate lowered).Validate.ok
+
+let test_fuzz_fixed () =
+  (* A deterministic sweep (always seeds 0..N), independent of
+     CALYX_TEST_SEED, so CI exercises a stable corpus every run. *)
+  for seed = 0 to 120 do
+    let spec = Fuzz_gen.spec_of_seed seed in
+    if not (validates spec) then
+      Alcotest.failf "seed %d diverged: %s" seed (Fuzz_gen.to_string spec)
+  done
+
+let prop_fuzz =
+  QCheck.Test.make ~name:"random programs: rtl = sim" ~count:80
+    (Fuzz_seed.spec_arb "vinterp-differential")
+    validates
+
+(* The shrinker itself: every candidate it proposes must be strictly
+   smaller and still build a well-formed, runnable program. *)
+let prop_shrink_sound =
+  QCheck.Test.make ~name:"shrink candidates are smaller and well-formed"
+    ~count:60
+    (Fuzz_seed.spec_arb "vinterp-shrink")
+    (fun spec ->
+      List.for_all
+        (fun c ->
+          Fuzz_gen.size c < Fuzz_gen.size spec
+          &&
+          let ctx = Fuzz_gen.build c in
+          Well_formed.check ctx;
+          let sim = Calyx_sim.Sim.create ctx in
+          ignore (Calyx_sim.Sim.run ~max_cycles:400_000 sim);
+          true)
+        (Fuzz_gen.shrink spec))
+
+(* Greedy minimization over an artificial failure predicate terminates
+   and lands on a local minimum that still satisfies the predicate. *)
+let test_shrink_minimizes () =
+  let has_while = ref false in
+  let rec any p spec =
+    p spec
+    ||
+    match spec with
+    | Fuzz_gen.Act _ -> false
+    | Fuzz_gen.Seqs cs | Fuzz_gen.Pars cs -> List.exists (any p) cs
+    | Fuzz_gen.Ifs { t; f; _ } -> (
+        any p t || match f with Some f -> any p f | None -> false)
+    | Fuzz_gen.Whiles (_, b) -> any p b
+  in
+  let is_while = function Fuzz_gen.Whiles _ -> true | _ -> false in
+  for seed = 0 to 300 do
+    let spec = Fuzz_gen.spec_of_seed seed in
+    if any is_while spec then begin
+      has_while := true;
+      let fails s = any is_while s in
+      let rec minimize s =
+        match List.find_opt fails (Fuzz_gen.shrink s) with
+        | Some smaller -> minimize smaller
+        | None -> s
+      in
+      let min = minimize spec in
+      if not (fails min) then Alcotest.failf "seed %d: minimum lost bug" seed;
+      (* The fixed point of while-preserving shrinking is a bare minimal
+         loop: nothing inside it survives. *)
+      match min with
+      | Fuzz_gen.Whiles (1, Fuzz_gen.Act (Fuzz_gen.S_const _)) -> ()
+      | m ->
+          Alcotest.failf "seed %d: not fully minimized: %s" seed
+            (Fuzz_gen.to_string m)
+    end
+  done;
+  if not !has_while then Alcotest.fail "sweep produced no while loops"
+
+let () =
+  Alcotest.run "vinterp"
+    [
+      ( "interpreter",
+        [
+          Alcotest.test_case "combinational operators" `Quick test_comb_ops;
+          Alcotest.test_case "division and modulo" `Quick test_comb_divmod;
+          Alcotest.test_case "always_comb if chains" `Quick test_always_comb_if;
+          Alcotest.test_case "non-blocking commit order" `Quick
+            test_nonblocking_commit;
+          Alcotest.test_case "always_ff counter" `Quick test_ff_counter;
+          Alcotest.test_case "combinational cycle detection" `Quick
+            test_unstable;
+          Alcotest.test_case "double driver rejected" `Quick test_double_driver;
+          Alcotest.test_case "parse errors" `Quick test_parse_error;
+          Alcotest.test_case "hierarchy and parameters" `Quick
+            test_hierarchy_params;
+        ] );
+      ( "corpus",
+        [
+          Alcotest.test_case "examples" `Quick test_examples;
+          Alcotest.test_case "pass configurations" `Quick test_example_configs;
+          Alcotest.test_case "polybench (all kernels)" `Slow test_polybench_all;
+          Alcotest.test_case "polybench (unrolled)" `Slow
+            test_polybench_unrolled;
+          Alcotest.test_case "systolic arrays" `Slow test_systolic;
+        ] );
+      ( "fuzz",
+        [
+          Alcotest.test_case "fixed seeds 0..120" `Quick test_fuzz_fixed;
+          QCheck_alcotest.to_alcotest prop_fuzz;
+          QCheck_alcotest.to_alcotest prop_shrink_sound;
+          Alcotest.test_case "greedy minimization" `Quick test_shrink_minimizes;
+        ] );
+    ]
