@@ -712,6 +712,86 @@ let cover () =
   Record.summary "min_group_pct" !min_group
 
 (* ------------------------------------------------------------------ *)
+(* Static timing: Fmax and wall-clock per kernel and systolic size     *)
+(* ------------------------------------------------------------------ *)
+
+(* Wall-time = cycles x estimated clock period (the ROADMAP's timing-model
+   item): the sensitive pass trades schedule cycles against critical-path
+   depth, and this experiment records both sides. Every field is
+   deterministic — delays come from the static model, not wall-clock — so
+   the regression mode gates all of them. *)
+let timing_bench () =
+  header "Timing: Fmax and wall-clock estimates (sensitive vs insensitive)";
+  Printf.printf "%-12s %9s %9s %10s %9s %9s %10s %8s\n" "kernel" "i-fmax"
+    "s-fmax" "i-wall_ns" "s-wall_ns" "i-cyc" "s-cyc" "speedup";
+  let wall_speedups = ref [] in
+  List.iter
+    (fun k ->
+      let insens =
+        Polybench.Harness.run ~config:Pipelines.insensitive_config k
+          ~unrolled:false
+      in
+      let sens =
+        Polybench.Harness.run ~config:sensitive_config k ~unrolled:false
+      in
+      let s = insens.Polybench.Harness.wall_ns /. sens.Polybench.Harness.wall_ns in
+      wall_speedups := s :: !wall_speedups;
+      Printf.printf "%-12s %9.1f %9.1f %10.1f %9.1f %9d %10d %7.2fx\n"
+        k.Polybench.Kernels.name
+        insens.Polybench.Harness.timing.Calyx_synth.Timing.fmax_mhz
+        sens.Polybench.Harness.timing.Calyx_synth.Timing.fmax_mhz
+        insens.Polybench.Harness.wall_ns sens.Polybench.Harness.wall_ns
+        insens.Polybench.Harness.cycles sens.Polybench.Harness.cycles s;
+      Record.row
+        [
+          ("kernel", Json.str k.Polybench.Kernels.name);
+          ( "insensitive_delay_ps",
+            Json.int insens.Polybench.Harness.timing.Calyx_synth.Timing.delay_ps
+          );
+          ( "sensitive_delay_ps",
+            Json.int sens.Polybench.Harness.timing.Calyx_synth.Timing.delay_ps );
+          ( "insensitive_fmax_mhz",
+            Json.float
+              insens.Polybench.Harness.timing.Calyx_synth.Timing.fmax_mhz );
+          ( "sensitive_fmax_mhz",
+            Json.float
+              sens.Polybench.Harness.timing.Calyx_synth.Timing.fmax_mhz );
+          ("insensitive_wall_ns", Json.float insens.Polybench.Harness.wall_ns);
+          ("sensitive_wall_ns", Json.float sens.Polybench.Harness.wall_ns);
+          ("wall_speedup", Json.float s);
+        ])
+    Polybench.Kernels.all;
+  Printf.printf "\n%4s %9s %9s %12s %12s\n" "N" "i-fmax" "s-fmax" "i-wall_ns"
+    "s-wall_ns";
+  List.iter
+    (fun n ->
+      let measure config =
+        let ctx = systolic_ctx n config in
+        let cycles, _ = systolic_cycles n config in
+        let t = Calyx_synth.Timing.context_timing ~paths:1 ctx in
+        (t, Calyx_synth.Timing.wall_ns t ~cycles)
+      in
+      let ti, wi = measure Pipelines.insensitive_config in
+      let ts, ws = measure sensitive_config in
+      Printf.printf "%4d %9.1f %9.1f %12.1f %12.1f\n" n
+        ti.Calyx_synth.Timing.fmax_mhz ts.Calyx_synth.Timing.fmax_mhz wi ws;
+      Record.row
+        [
+          ("n", Json.int n);
+          ("insensitive_delay_ps", Json.int ti.Calyx_synth.Timing.delay_ps);
+          ("sensitive_delay_ps", Json.int ts.Calyx_synth.Timing.delay_ps);
+          ( "insensitive_fmax_mhz",
+            Json.float ti.Calyx_synth.Timing.fmax_mhz );
+          ("sensitive_fmax_mhz", Json.float ts.Calyx_synth.Timing.fmax_mhz);
+          ("insensitive_wall_ns", Json.float wi);
+          ("sensitive_wall_ns", Json.float ws);
+        ])
+    systolic_sizes;
+  Printf.printf "geomean wall-clock speedup from Sensitive: %.2fx\n"
+    (geomean !wall_speedups);
+  Record.summary "geomean_wall_speedup" (geomean !wall_speedups)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks (compiler-side work per experiment)       *)
 (* ------------------------------------------------------------------ *)
 
@@ -862,6 +942,7 @@ let experiments =
     ("engine", engines);
     ("cover", cover);
     ("validate", validate);
+    ("timing", timing_bench);
     ("perf", perf);
   ]
 

@@ -10,8 +10,9 @@
      cover      coverage analysis, span traces, par critical-path report
      dahlia     compile a Dahlia program (optionally run it)
      systolic   generate (and optionally run) a systolic array
-     polybench  run PolyBench kernels and report cycles/area
-     stats      compilation statistics for a design (Section 7.4) *)
+     polybench  run PolyBench kernels and report cycles/area/Fmax
+     stats      compilation statistics for a design (Section 7.4)
+     timing     static timing analysis: critical path, Fmax, worst paths *)
 
 open Cmdliner
 
@@ -387,15 +388,18 @@ let polybench_cmd =
               if unrolled then Polybench.Kernels.unrollable
               else Polybench.Kernels.all
         in
-        Printf.printf "%-12s %10s %8s %8s %6s  %s\n" "kernel" "cycles" "LUTs"
-          "regs" "DSPs" "check";
+        Printf.printf "%-12s %10s %8s %8s %6s %9s %10s  %s\n" "kernel" "cycles"
+          "LUTs" "regs" "DSPs" "Fmax_MHz" "wall_ns" "check";
         List.iter
           (fun k ->
             let r = Polybench.Harness.run ~config k ~unrolled in
-            Printf.printf "%-12s %10d %8d %8d %6d  %s\n" k.Polybench.Kernels.name
+            Printf.printf "%-12s %10d %8d %8d %6d %9.1f %10.1f  %s\n"
+              k.Polybench.Kernels.name
               r.Polybench.Harness.cycles r.Polybench.Harness.area.Calyx_synth.Area.luts
               r.Polybench.Harness.area.Calyx_synth.Area.registers
               r.Polybench.Harness.area.Calyx_synth.Area.dsps
+              r.Polybench.Harness.timing.Calyx_synth.Timing.fmax_mhz
+              r.Polybench.Harness.wall_ns
               (if r.Polybench.Harness.correct then "ok"
                else "MISMATCH: " ^ String.concat "," r.Polybench.Harness.mismatches))
           kernels)
@@ -416,7 +420,7 @@ let profile_cmd =
           let ctx = parse_source file in
           Calyx.Well_formed.check ctx;
           (* Compile once for the pass-pipeline report... *)
-          let _lowered, stats = Calyx_obs.Pass_stats.compile ~config ctx in
+          let lowered, stats = Calyx_obs.Pass_stats.compile ~config ctx in
           (* ...and interpret the structured program for group-level
              profiling (lowering erases groups). Invoke is the one control
              construct the interpreter refuses, so compile it away. *)
@@ -427,12 +431,25 @@ let profile_cmd =
               let cycles = Calyx_sim.Sim.run sim in
               let prof = Option.get prof in
               let mism = Calyx_obs.Profile.mismatches runnable prof in
+              (* Wall-clock estimate from the lowered design's critical
+                 path: the hardware the cycles would actually clock
+                 through. *)
+              let timing = Calyx_synth.Timing.context_timing ~paths:1 lowered in
+              let wall = Calyx_synth.Timing.wall_ns timing ~cycles in
               if json then
                 print_endline
                   (Calyx.Json.obj
                      [
                        ("file", Calyx.Json.str file);
                        ("cycles", Calyx.Json.int cycles);
+                       ( "delay_ps",
+                         Calyx.Json.int timing.Calyx_synth.Timing.delay_ps );
+                       ( "fmax_mhz",
+                         Calyx.Json.float timing.Calyx_synth.Timing.fmax_mhz );
+                       ( "period_ns",
+                         Calyx.Json.float
+                           (Calyx_synth.Timing.period_ns timing) );
+                       ("wall_ns", Calyx.Json.float wall);
                        ("pass_stats", Calyx_obs.Pass_stats.to_json stats);
                        ( "profile",
                          Calyx_obs.Profile.to_json ~ctx:runnable prof );
@@ -440,6 +457,12 @@ let profile_cmd =
               else begin
                 Printf.printf "== pass pipeline ==\n%s\n"
                   (Calyx_obs.Pass_stats.render stats);
+                Printf.printf
+                  "== estimated wall-clock ==\n\
+                   %d cycles x %.2f ns/cycle (Fmax %.1f MHz) = %.1f ns\n\n"
+                  cycles
+                  (Calyx_synth.Timing.period_ns timing)
+                  timing.Calyx_synth.Timing.fmax_mhz wall;
                 Printf.printf "== runtime profile ==\n%s"
                   (Calyx_obs.Profile.render ~ctx:runnable prof)
               end;
@@ -507,6 +530,10 @@ let cover_cmd =
               let fcov = Calyx_cover.Coverage.create lowered fsim in
               load_mems fsim mems;
               let fcycles = Calyx_sim.Sim.run fsim in
+              (* STA of the lowered design converts the par report's
+                 cycle slacks into nanoseconds. *)
+              let timing = Calyx_synth.Timing.context_timing ~paths:1 lowered in
+              let period_ns = Calyx_synth.Timing.period_ns timing in
               if json then
                 print_endline
                   (Calyx.Json.obj
@@ -514,18 +541,21 @@ let cover_cmd =
                        ("file", Calyx.Json.str file);
                        ("cycles", Calyx.Json.int scycles);
                        ("compiled_cycles", Calyx.Json.int fcycles);
+                       ("period_ns", Calyx.Json.float period_ns);
+                       ( "fmax_mhz",
+                         Calyx.Json.float timing.Calyx_synth.Timing.fmax_mhz );
                        ("coverage", Calyx_cover.Coverage.to_json cov);
                        ( "fsm_coverage",
                          Calyx_cover.Coverage.to_json fcov );
                        ( "critical_path",
-                         Calyx_cover.Crit_path.to_json crit );
+                         Calyx_cover.Crit_path.to_json ~period_ns crit );
                      ])
               else begin
                 Printf.printf "== coverage (structured, %d cycles) ==\n%s\n"
                   scycles
                   (Calyx_cover.Coverage.render cov);
                 Printf.printf "== par critical path ==\n%s\n"
-                  (Calyx_cover.Crit_path.render crit);
+                  (Calyx_cover.Crit_path.render ~period_ns crit);
                 Printf.printf "== coverage (compiled, %d cycles) ==\n%s"
                   fcycles
                   (Calyx_cover.Coverage.render fcov)
@@ -750,7 +780,7 @@ let validate_cmd =
           $ config_term $ engine_term $ max_cycles $ cex_dir)
 
 let stats_cmd =
-  let run file config =
+  let run file config json =
     handle_errors (fun () ->
         let ctx = Calyx.Parser.parse_file file in
         let t0 = Unix.gettimeofday () in
@@ -759,31 +789,131 @@ let stats_cmd =
         let sv = Calyx_verilog.Verilog.emit lowered in
         let t2 = Unix.gettimeofday () in
         let main = Calyx.Ir.entry ctx in
-        Printf.printf "cells:              %d\n" (List.length main.Calyx.Ir.cells);
-        Printf.printf "groups:             %d\n" (List.length main.Calyx.Ir.groups);
-        Printf.printf "control statements: %d\n"
-          (Calyx.Ir.control_size main.Calyx.Ir.control);
-        Printf.printf "compile time:       %.4f s\n" (t1 -. t0);
-        Printf.printf "emit time:          %.4f s\n" (t2 -. t1);
-        Printf.printf "SystemVerilog LOC:  %d\n" (Calyx_verilog.Verilog.loc sv);
         let usage = Calyx_synth.Area.context_usage lowered in
-        Printf.printf "area estimate:      %s\n"
-          (Format.asprintf "%a" Calyx_synth.Area.pp usage);
         let timing = Calyx_synth.Timing.context_depth lowered in
-        Printf.printf "critical path:      %d logic levels\n"
-          timing.Calyx_synth.Timing.levels;
-        match timing.Calyx_synth.Timing.critical with
-        | [] -> ()
-        | path ->
-            Printf.printf "  through: %s\n"
-              (String.concat " -> "
-                 (if List.length path > 6 then
-                    List.filteri (fun i _ -> i < 6) path @ [ "..." ]
-                  else path)))
+        if json then
+          print_endline
+            (Calyx.Json.obj
+               [
+                 ("file", Calyx.Json.str file);
+                 ("cells", Calyx.Json.int (List.length main.Calyx.Ir.cells));
+                 ("groups", Calyx.Json.int (List.length main.Calyx.Ir.groups));
+                 ( "control_statements",
+                   Calyx.Json.int (Calyx.Ir.control_size main.Calyx.Ir.control)
+                 );
+                 ("compile_seconds", Calyx.Json.float (t1 -. t0));
+                 ("emit_seconds", Calyx.Json.float (t2 -. t1));
+                 ("loc", Calyx.Json.int (Calyx_verilog.Verilog.loc sv));
+                 ( "area",
+                   Calyx.Json.obj
+                     [
+                       ("luts", Calyx.Json.int usage.Calyx_synth.Area.luts);
+                       ( "registers",
+                         Calyx.Json.int usage.Calyx_synth.Area.registers );
+                       ( "register_cells",
+                         Calyx.Json.int usage.Calyx_synth.Area.register_cells );
+                       ("dsps", Calyx.Json.int usage.Calyx_synth.Area.dsps);
+                       ("brams", Calyx.Json.int usage.Calyx_synth.Area.brams);
+                     ] );
+                 ( "timing",
+                   Calyx.Json.obj
+                     [
+                       ( "levels",
+                         Calyx.Json.int timing.Calyx_synth.Timing.levels );
+                       ( "delay_ps",
+                         Calyx.Json.int timing.Calyx_synth.Timing.delay_ps );
+                       ( "fmax_mhz",
+                         Calyx.Json.float timing.Calyx_synth.Timing.fmax_mhz );
+                       ( "critical",
+                         Calyx.Json.arr
+                           (List.map Calyx.Json.str
+                              timing.Calyx_synth.Timing.critical) );
+                     ] );
+               ])
+        else begin
+          Printf.printf "cells:              %d\n" (List.length main.Calyx.Ir.cells);
+          Printf.printf "groups:             %d\n" (List.length main.Calyx.Ir.groups);
+          Printf.printf "control statements: %d\n"
+            (Calyx.Ir.control_size main.Calyx.Ir.control);
+          Printf.printf "compile time:       %.4f s\n" (t1 -. t0);
+          Printf.printf "emit time:          %.4f s\n" (t2 -. t1);
+          Printf.printf "SystemVerilog LOC:  %d\n" (Calyx_verilog.Verilog.loc sv);
+          Printf.printf "area estimate:      %s\n"
+            (Format.asprintf "%a" Calyx_synth.Area.pp usage);
+          Printf.printf "critical path:      %d logic levels, %d ps (%.1f MHz)\n"
+            timing.Calyx_synth.Timing.levels timing.Calyx_synth.Timing.delay_ps
+            timing.Calyx_synth.Timing.fmax_mhz;
+          match timing.Calyx_synth.Timing.critical with
+          | [] -> ()
+          | path ->
+              Printf.printf "  through: %s\n"
+                (String.concat " -> "
+                   (if List.length path > 6 then
+                      List.filteri (fun i _ -> i < 6) path @ [ "..." ]
+                    else path))
+        end)
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the same statistics as a single JSON object.")
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"Compilation statistics for a Calyx design (Section 7.4).")
-    Term.(const run $ file_arg $ config_term)
+    Term.(const run $ file_arg $ config_term $ json)
+
+let timing_cmd =
+  let run file config json paths period =
+    let failed = ref false in
+    let code =
+      handle_errors (fun () ->
+          let ctx = parse_source file in
+          let lowered = Calyx.Pipelines.compile ~config ctx in
+          let report = Calyx_synth.Timing.context_timing ~paths lowered in
+          let target_period_ps =
+            Option.map (fun ns -> int_of_float (ns *. 1000.)) period
+          in
+          (* Attribution resolves through the structured program, where
+             groups and control still exist. *)
+          if json then
+            print_endline
+              (Calyx_synth.Timing.to_json ~attribute_ctx:ctx ?target_period_ps
+                 report)
+          else
+            print_string
+              (Calyx_synth.Timing.render ~attribute_ctx:ctx ?target_period_ps
+                 report);
+          Option.iter
+            (fun p ->
+              if Calyx_synth.Timing.slack_ps report ~period_ps:p < 0 then
+                failed := true)
+            target_period_ps)
+    in
+    if code <> 0 then code else if !failed then 1 else 0
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the timing report as a single JSON object.")
+  in
+  let paths =
+    Arg.(
+      value & opt int 5
+      & info [ "paths" ] ~docv:"K"
+          ~doc:"Report the $(docv) worst paths (one per distinct endpoint).")
+  in
+  let period =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "period" ] ~docv:"NS"
+          ~doc:"Target clock period in nanoseconds: report slack against it and exit non-zero when the design cannot meet it.")
+  in
+  Cmd.v
+    (Cmd.info "timing"
+       ~doc:"Static timing analysis of the compiled design: critical-path delay under the width-aware delay model, an Fmax estimate, and the K worst paths attributed back to cells, groups, and the control statements that enable them.")
+    Term.(const run $ file_arg $ config_term $ json $ paths $ period)
 
 let () =
   let doc = "the Calyx compiler infrastructure (OCaml reproduction)" in
@@ -794,5 +924,5 @@ let () =
           [
             check_cmd; compile_cmd; interp_cmd; sim_cmd; profile_cmd;
             cover_cmd; dahlia_cmd; systolic_cmd; polybench_cmd; validate_cmd;
-            stats_cmd;
+            stats_cmd; timing_cmd;
           ]))

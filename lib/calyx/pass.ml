@@ -38,6 +38,8 @@ type observation = {
   obs_seconds : float;
   obs_before : counts;
   obs_after : counts;
+  obs_ctx_before : Ir.context;
+  obs_ctx_after : Ir.context;
 }
 
 let validate_after pass ctx' =
@@ -67,6 +69,8 @@ let run ?(validate = true) ?observe pass ctx =
           obs_seconds = seconds;
           obs_before = before;
           obs_after = measure ctx';
+          obs_ctx_before = ctx;
+          obs_ctx_after = ctx';
         };
       ctx'
 

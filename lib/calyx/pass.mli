@@ -35,6 +35,11 @@ type observation = {
           excluded). *)
   obs_before : counts;
   obs_after : counts;
+  obs_ctx_before : Ir.context;
+      (** The contexts themselves (immutable, so sharing them is free):
+          observers that need more than size counts — e.g. per-pass timing
+          analysis — re-measure these. *)
+  obs_ctx_after : Ir.context;
 }
 
 (** {1 Running passes} *)

@@ -175,7 +175,7 @@ let mismatches reports =
     (fun pr -> List.filter (fun a -> a.ar_mismatch) pr.pr_arms)
     reports
 
-let render reports =
+let render ?period_ns reports =
   if reports = [] then "no par statements executed\n"
   else begin
     let buf = Buffer.create 512 in
@@ -187,12 +187,25 @@ let render reports =
         let inst =
           if pr.pr_instance = "" then "" else " in " ^ pr.pr_instance
         in
-        pf "%s (component %s%s), cycles %d-%d: %d cycles, bottleneck %s\n"
+        let wall =
+          match period_ns with
+          | None -> ""
+          | Some p ->
+              Printf.sprintf " (%.1f ns @ %.2f ns/cycle)"
+                (float_of_int pr.pr_cycles *. p)
+                p
+        in
+        pf "%s (component %s%s), cycles %d-%d: %d cycles%s, bottleneck %s\n"
           where pr.pr_component inst pr.pr_enter
           (pr.pr_enter + pr.pr_cycles - 1)
-          pr.pr_cycles pr.pr_bottleneck;
+          pr.pr_cycles wall pr.pr_bottleneck;
+        let header =
+          [ "arm"; "label"; "cycles"; "slack" ]
+          @ (if period_ns = None then [] else [ "slack_ns" ])
+          @ [ "expected"; "check" ]
+        in
         Calyx_obs.Tables.add_table buf
-          ([ "arm"; "label"; "cycles"; "slack"; "expected"; "check" ]
+          (header
           :: List.map
                (fun a ->
                  [
@@ -200,45 +213,72 @@ let render reports =
                    a.ar_label;
                    string_of_int a.ar_cycles;
                    string_of_int a.ar_slack;
-                   (match a.ar_expected with
-                   | None -> "-"
-                   | Some e -> string_of_int e);
-                   (if a.ar_mismatch then "MISMATCH"
-                    else match a.ar_expected with
-                      | None -> "-"
-                      | Some _ -> "ok");
-                 ])
+                 ]
+                 @ (match period_ns with
+                   | None -> []
+                   | Some p ->
+                       [
+                         Printf.sprintf "%.1f" (float_of_int a.ar_slack *. p);
+                       ])
+                 @ [
+                     (match a.ar_expected with
+                     | None -> "-"
+                     | Some e -> string_of_int e);
+                     (if a.ar_mismatch then "MISMATCH"
+                      else
+                        match a.ar_expected with
+                        | None -> "-"
+                        | Some _ -> "ok");
+                   ])
                pr.pr_arms))
       reports;
     Buffer.contents buf
   end
 
-let to_json reports =
+let to_json ?period_ns reports =
   let opt_json = function None -> Json.null | Some n -> Json.int n in
+  let ns cycles =
+    match period_ns with
+    | None -> []
+    | Some p -> [ ("ns", Json.float (float_of_int cycles *. p)) ]
+  in
   Json.arr
     (List.map
        (fun pr ->
          Json.obj
-           [
-             ("instance", Json.str pr.pr_instance);
-             ("component", Json.str pr.pr_component);
-             ("path", Json.str pr.pr_path);
-             ("enter", Json.int pr.pr_enter);
-             ("cycles", Json.int pr.pr_cycles);
-             ("bottleneck", Json.str pr.pr_bottleneck);
-             ( "arms",
-               Json.arr
-                 (List.map
-                    (fun a ->
-                      Json.obj
-                        [
-                          ("path", Json.str a.ar_path);
-                          ("label", Json.str a.ar_label);
-                          ("cycles", Json.int a.ar_cycles);
-                          ("slack", Json.int a.ar_slack);
-                          ("expected", opt_json a.ar_expected);
-                          ("mismatch", Json.bool a.ar_mismatch);
-                        ])
-                    pr.pr_arms) );
-           ])
+           ([
+              ("instance", Json.str pr.pr_instance);
+              ("component", Json.str pr.pr_component);
+              ("path", Json.str pr.pr_path);
+              ("enter", Json.int pr.pr_enter);
+              ("cycles", Json.int pr.pr_cycles);
+            ]
+           @ ns pr.pr_cycles
+           @ [
+               ("bottleneck", Json.str pr.pr_bottleneck);
+               ( "arms",
+                 Json.arr
+                   (List.map
+                      (fun a ->
+                        Json.obj
+                          ([
+                             ("path", Json.str a.ar_path);
+                             ("label", Json.str a.ar_label);
+                             ("cycles", Json.int a.ar_cycles);
+                             ("slack", Json.int a.ar_slack);
+                           ]
+                          @ (match period_ns with
+                            | None -> []
+                            | Some p ->
+                                [
+                                  ( "slack_ns",
+                                    Json.float
+                                      (float_of_int a.ar_slack *. p) );
+                                ])
+                          @ [
+                              ("expected", opt_json a.ar_expected);
+                              ("mismatch", Json.bool a.ar_mismatch);
+                            ]))
+                      pr.pr_arms) );
+             ]))
        reports)

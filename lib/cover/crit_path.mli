@@ -39,7 +39,11 @@ val analyze :
 val mismatches : par_report list -> arm_report list
 (** All arms whose measured duration disagrees with the derived latency. *)
 
-val render : par_report list -> string
+val render : ?period_ns:float -> par_report list -> string
+(** With [period_ns] (the STA-estimated clock period), each par activation
+    additionally reports its wall-clock duration and each arm its slack in
+    nanoseconds. *)
 
-val to_json : par_report list -> string
-(** A JSON array, one object per par activation. *)
+val to_json : ?period_ns:float -> par_report list -> string
+(** A JSON array, one object per par activation; with [period_ns], par
+    objects gain an ["ns"] field and arms a ["slack_ns"] field. *)

@@ -26,13 +26,33 @@ let delta before after =
   if after = before then Printf.sprintf "%d" after
   else Printf.sprintf "%d->%d (%+d)" before after (after - before)
 
+(* Per-pass timing: mid-pipeline (structured) contexts are analyzed as
+   their merged netlist, which can exhibit cycles that lowering later
+   resolves — those passes report no timing rather than failing. *)
+let timing_of ctx =
+  try Some (Calyx_synth.Timing.context_timing ~paths:1 ctx)
+  with Calyx_synth.Timing.Combinational_loop _ | Ir.Ir_error _ -> None
+
+let timing_pair (o : Pass.observation) =
+  (timing_of o.Pass.obs_ctx_before, timing_of o.Pass.obs_ctx_after)
+
+let odelta fmt before after =
+  match (before, after) with
+  | Some b, Some a ->
+      if a = b then fmt a else Printf.sprintf "%s->%s" (fmt b) (fmt a)
+  | _ -> "-"
+
 let render t =
   let obs = observations t in
   let rows =
-    [ "pass"; "ms"; "cells"; "groups"; "assigns"; "control" ]
+    [ "pass"; "ms"; "cells"; "groups"; "assigns"; "control";
+      "depth_ps"; "fmax_mhz" ]
     :: List.map
          (fun (o : Pass.observation) ->
            let b = o.obs_before and a = o.obs_after in
+           let tb, ta = timing_pair o in
+           let delay r = r.Calyx_synth.Timing.delay_ps in
+           let fmax r = r.Calyx_synth.Timing.fmax_mhz in
            [
              o.obs_pass;
              Printf.sprintf "%.2f" (o.obs_seconds *. 1000.);
@@ -40,10 +60,14 @@ let render t =
              delta b.Pass.groups a.Pass.groups;
              delta b.Pass.assignments a.Pass.assignments;
              delta b.Pass.control_nodes a.Pass.control_nodes;
+             odelta string_of_int (Option.map delay tb) (Option.map delay ta);
+             odelta
+               (fun f -> Printf.sprintf "%.0f" f)
+               (Option.map fmax tb) (Option.map fmax ta);
            ])
          obs
   in
-  let ncols = 6 in
+  let ncols = 8 in
   let width c =
     List.fold_left (fun w row -> max w (String.length (List.nth row c))) 0 rows
   in
@@ -79,6 +103,15 @@ let to_json t =
   let passes =
     List.map
       (fun (o : Pass.observation) ->
+        let tb, ta = timing_pair o in
+        let delay = function
+          | Some r -> Json.int r.Calyx_synth.Timing.delay_ps
+          | None -> Json.null
+        in
+        let fmax = function
+          | Some r -> Json.float r.Calyx_synth.Timing.fmax_mhz
+          | None -> Json.null
+        in
         Json.obj
           [
             ("name", Json.str o.obs_pass);
@@ -86,6 +119,10 @@ let to_json t =
             ("seconds", Json.float o.obs_seconds);
             ("before", counts_json o.obs_before);
             ("after", counts_json o.obs_after);
+            ("delay_ps_before", delay tb);
+            ("delay_ps_after", delay ta);
+            ("fmax_mhz_before", fmax tb);
+            ("fmax_mhz_after", fmax ta);
           ])
       (observations t)
   in

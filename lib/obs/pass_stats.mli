@@ -29,10 +29,14 @@ val consistent : t -> bool
     deltas chain without gaps. Vacuously true for an empty run. *)
 
 val render : t -> string
-(** The human table: per pass, wall-clock milliseconds and
+(** The human table: per pass, wall-clock milliseconds,
     [before->after (+/-delta)] for cells, groups, assignments, and control
-    nodes. *)
+    nodes, plus critical-path depth (ps) and Fmax (MHz) deltas from the
+    static timing analysis. Passes whose intermediate netlist cannot be
+    timed (merged-netlist cycles mid-pipeline) show ["-"]. *)
 
 val to_json : t -> string
 (** [{"passes": [...], "total_seconds": ...}] following the
-    {!Calyx.Diagnostics} JSON conventions. *)
+    {!Calyx.Diagnostics} JSON conventions; each pass additionally carries
+    [delay_ps_before/after] and [fmax_mhz_before/after] (null when the
+    intermediate netlist cannot be timed). *)

@@ -3,6 +3,8 @@ type result = {
   correct : bool;
   mismatches : string list;
   area : Calyx_synth.Area.usage;
+  timing : Calyx_synth.Timing.report;
+  wall_ns : float;
 }
 
 let program (k : Kernels.kernel) ~unrolled =
@@ -53,11 +55,14 @@ let run ?(config = Calyx.Pipelines.default_config) ?engine k ~unrolled =
   let ctx = Dahlia.To_calyx.compile prog in
   let lowered = Calyx.Pipelines.compile ~config ctx in
   let cycles, mismatches = execute ?engine k prog lowered in
+  let timing = Calyx_synth.Timing.context_timing ~paths:1 lowered in
   {
     cycles;
     correct = mismatches = [];
     mismatches;
     area = Calyx_synth.Area.context_usage lowered;
+    timing;
+    wall_ns = Calyx_synth.Timing.wall_ns timing ~cycles;
   }
 
 type rtl_result = {
@@ -87,9 +92,19 @@ let run_interp ?engine k ~unrolled =
   let prog = program k ~unrolled in
   let ctx = Dahlia.To_calyx.compile prog in
   let cycles, mismatches = execute ?engine k prog ctx in
+  (* Structured programs are timed as their merged netlist, which can have
+     cycles lowering would resolve; fall back to the lowered design. *)
+  let timing =
+    try Calyx_synth.Timing.context_timing ~paths:1 ctx
+    with Calyx_synth.Timing.Combinational_loop _ ->
+      Calyx_synth.Timing.context_timing ~paths:1
+        (Calyx.Pipelines.compile ctx)
+  in
   {
     cycles;
     correct = mismatches = [];
     mismatches;
     area = Calyx_synth.Area.context_usage ctx;
+    timing;
+    wall_ns = Calyx_synth.Timing.wall_ns timing ~cycles;
   }

@@ -11,6 +11,8 @@ type result = {
   correct : bool;
   mismatches : string list;  (** Names of output memories that differ. *)
   area : Calyx_synth.Area.usage;  (** Of the fully lowered design. *)
+  timing : Calyx_synth.Timing.report;  (** STA of the same design. *)
+  wall_ns : float;  (** [cycles * estimated clock period]. *)
 }
 
 val program : Kernels.kernel -> unrolled:bool -> Dahlia.Ast.prog

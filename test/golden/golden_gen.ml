@@ -20,6 +20,11 @@ let () =
   | [| _; "verilog"; file |] ->
       print_string
         (Calyx_verilog.Verilog.emit (Calyx.Pipelines.compile (parse file)))
+  | [| _; "timing"; file |] ->
+      let ctx = parse file in
+      let lowered = Calyx.Pipelines.compile ctx in
+      let report = Calyx_synth.Timing.context_timing ~paths:3 lowered in
+      print_endline (Calyx_synth.Timing.to_json ~attribute_ctx:ctx report)
   | _ ->
-      prerr_endline "usage: golden_gen (print|verilog) FILE";
+      prerr_endline "usage: golden_gen (print|verilog|timing) FILE";
       exit 2
