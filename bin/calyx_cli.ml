@@ -12,9 +12,14 @@
      systolic   generate (and optionally run) a systolic array
      polybench  run PolyBench kernels and report cycles/area/Fmax
      stats      compilation statistics for a design (Section 7.4)
-     timing     static timing analysis: critical path, Fmax, worst paths *)
+     timing     static timing analysis: critical path, Fmax, worst paths
+     report     aggregate telemetry manifests; gate perf regressions
+
+   Every subcommand additionally takes --telemetry/--trace-pipeline/
+   --metrics-out/--log-level (see telemetry_term below). *)
 
 open Cmdliner
+module Tele = Calyx_telemetry
 
 (* ------------------------------------------------------------------ *)
 (* Shared options                                                      *)
@@ -134,6 +139,12 @@ let handle_errors f =
         budget;
       Printf.eprintf "state at timeout:\n%s\n" snapshot;
       1
+  | Failure msg | Sys_error msg ->
+      (* Usage-shaped failures from subcommand bodies (report without a
+         current bench file, an unreadable manifest, ...) — a message and
+         exit 1, not cmdliner's "internal error" backtrace. *)
+      Printf.eprintf "error: %s\n" msg;
+      1
 
 let output ctx = function
   | `Calyx -> print_string (Calyx.Printer.to_string ctx)
@@ -181,34 +192,145 @@ let write_file path contents =
   output_string oc contents;
   close_out oc
 
+let read_file path =
+  let ic = open_in_bin path in
+  let src = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  src
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry plumbing (shared by every subcommand)                     *)
+(* ------------------------------------------------------------------ *)
+
+type telemetry_opts = {
+  t_manifest : string option;
+  t_chrome : string option;
+  t_metrics : string option;
+  t_log : Tele.Log.level option;
+}
+
+let telemetry_term =
+  let manifest =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "telemetry" ] ~docv:"FILE"
+          ~doc:"Append one JSONL run-manifest event per toolchain stage (and per compiler pass) to $(docv): source hash, pass-pipeline id, engine, wall time, GC words, stage metrics. Aggregate with $(b,calyx report).")
+  in
+  let chrome =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-pipeline" ] ~docv:"FILE"
+          ~doc:"Write a Chrome trace_event JSON of the toolchain's own spans (parse, check, each pass, sim, emit, timing) to $(docv); load it at ui.perfetto.dev.")
+  in
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:"Dump the process metrics registry (counters, gauges, histograms) in OpenMetrics text format to $(docv) on exit.")
+  in
+  let log =
+    Arg.(
+      value
+      & opt
+          (some
+             (enum
+                [
+                  ("quiet", Tele.Log.Quiet);
+                  ("info", Tele.Log.Info);
+                  ("debug", Tele.Log.Debug);
+                ]))
+          None
+      & info [ "log-level" ] ~docv:"LEVEL"
+          ~doc:"Stderr verbosity: $(b,quiet), $(b,info), or $(b,debug). Defaults from the $(b,CALYX_LOG) environment variable.")
+  in
+  let make t_manifest t_chrome t_metrics t_log =
+    { t_manifest; t_chrome; t_metrics; t_log }
+  in
+  Term.(const make $ manifest $ chrome $ metrics $ log)
+
+(* Enable telemetry when any sink was requested, stamp the run context
+   with the input's content hash, run the command, and write the
+   requested outputs even when the command fails partway (manifests
+   stream line-by-line regardless). *)
+let with_telemetry ?source tele f =
+  Option.iter Tele.Log.set_level tele.t_log;
+  let wanted =
+    tele.t_manifest <> None || tele.t_chrome <> None || tele.t_metrics <> None
+  in
+  if not wanted then f ()
+  else begin
+    Tele.Runtime.enable ();
+    if tele.t_chrome <> None then Tele.Trace.set_keep true;
+    let writer = Option.map Tele.Manifest.open_file tele.t_manifest in
+    Option.iter Tele.Manifest.install writer;
+    (match source with
+    | Some file when Sys.file_exists file ->
+        Tele.Manifest.set_run ~source:(Filename.basename file)
+          ~source_hash:(Tele.Manifest.hash (read_file file))
+          ()
+    | _ -> ());
+    let finalize () =
+      Option.iter
+        (fun p -> write_file p (Tele.Trace.to_chrome ()))
+        tele.t_chrome;
+      Option.iter
+        (fun p -> write_file p (Tele.Metrics.to_openmetrics ()))
+        tele.t_metrics;
+      Option.iter
+        (fun w ->
+          Tele.Manifest.uninstall ();
+          Tele.Log.debug "telemetry: %d manifest event(s) written"
+            (Tele.Manifest.events_written w);
+          Tele.Manifest.close w)
+        writer
+    in
+    Fun.protect ~finally:finalize f
+  end
+
 (* Frontend selection by suffix: .dahlia/.fuse sources go through the
    Dahlia frontend, everything else parses as Calyx. *)
+let parse_calyx file =
+  Tele.Trace.with_span ~cat:"stage" "parse" (fun () ->
+      Calyx.Parser.parse_file file)
+
 let parse_source file =
   if Filename.check_suffix file ".dahlia" || Filename.check_suffix file ".fuse"
   then begin
-    let ic = open_in file in
-    let src = really_input_string ic (in_channel_length ic) in
-    close_in ic;
-    Dahlia.To_calyx.compile (Dahlia.Parser.parse_string src)
+    let src = read_file file in
+    let prog =
+      Tele.Trace.with_span ~cat:"stage" "parse" (fun () ->
+          Dahlia.Parser.parse_string src)
+    in
+    Dahlia.To_calyx.compile prog
   end
-  else Calyx.Parser.parse_file file
+  else parse_calyx file
 
 (* ------------------------------------------------------------------ *)
 (* Subcommands                                                         *)
 (* ------------------------------------------------------------------ *)
 
 let check_cmd =
-  let run file json =
+  let run file json tele =
+    with_telemetry ~source:file tele @@ fun () ->
     let failed = ref false in
     let code =
       handle_errors (fun () ->
-          let ctx = Calyx.Parser.parse_file file in
-          let wf = Calyx.Well_formed.diagnostics ctx in
+          let ctx = parse_calyx file in
+          let wf =
+            Tele.Trace.with_span ~cat:"stage" "check" (fun () ->
+                Calyx.Well_formed.diagnostics ctx)
+          in
           let ds =
             (* Lints assume a well-formed program; skip them when the
                structural checks already failed. *)
             if List.exists Calyx.Diagnostics.is_error wf then wf
-            else wf @ Calyx.Lint.diagnostics ctx
+            else
+              wf
+              @ Tele.Trace.with_span ~cat:"stage" "lint" (fun () ->
+                    Calyx.Lint.diagnostics ctx)
           in
           if json then print_string (Calyx.Diagnostics.to_json ds)
           else print_string (Calyx.Diagnostics.render_all ds);
@@ -222,12 +344,13 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check"
        ~doc:"Check a Calyx program: well-formedness plus semantic lints (data races, combinational cycles, driver conflicts, dead code, latency contracts). Exits non-zero if any error-severity diagnostic is reported.")
-    Term.(const run $ file_arg $ json)
+    Term.(const run $ file_arg $ json $ telemetry_term)
 
 let compile_cmd =
-  let run file config emit pass_stats json =
+  let run file config emit pass_stats json tele =
+    with_telemetry ~source:file tele @@ fun () ->
     handle_errors (fun () ->
-        let ctx = Calyx.Parser.parse_file file in
+        let ctx = parse_calyx file in
         if pass_stats then begin
           let lowered, stats = Calyx_obs.Pass_stats.compile ~config ctx in
           (* Stats on stderr so stdout stays the compiled program. *)
@@ -251,12 +374,14 @@ let compile_cmd =
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile a Calyx program to lowered Calyx or SystemVerilog.")
-    Term.(const run $ file_arg $ config_term $ emit_term $ pass_stats $ json)
+    Term.(const run $ file_arg $ config_term $ emit_term $ pass_stats $ json
+          $ telemetry_term)
 
 let interp_cmd =
-  let run file mems spans engine =
+  let run file mems spans engine tele =
+    with_telemetry ~source:file tele @@ fun () ->
     handle_errors (fun () ->
-        let ctx = Calyx.Parser.parse_file file in
+        let ctx = parse_calyx file in
         Calyx.Well_formed.check ctx;
         let sim = Calyx_sim.Sim.create ~engine ctx in
         let sp =
@@ -277,12 +402,14 @@ let interp_cmd =
   in
   Cmd.v
     (Cmd.info "interp" ~doc:"Execute a structured Calyx program with the reference interpreter.")
-    Term.(const run $ file_arg $ mems_term $ spans_term $ engine_term)
+    Term.(const run $ file_arg $ mems_term $ spans_term $ engine_term
+          $ telemetry_term)
 
 let sim_cmd =
-  let run file config mems trace profile spans engine =
+  let run file config mems trace profile spans engine tele =
+    with_telemetry ~source:file tele @@ fun () ->
     handle_errors (fun () ->
-        let ctx = Calyx.Parser.parse_file file in
+        let ctx = parse_calyx file in
         let lowered = Calyx.Pipelines.compile ~config ctx in
         let sim = Calyx_sim.Sim.create ~engine lowered in
         (* A compiled program has no control tree; derive spans from the
@@ -321,15 +448,18 @@ let sim_cmd =
   Cmd.v
     (Cmd.info "sim" ~doc:"Compile a Calyx program and run the cycle-accurate flat simulator.")
     Term.(const run $ file_arg $ config_term $ mems_term $ trace_term $ profile
-          $ spans_term $ engine_term)
+          $ spans_term $ engine_term $ telemetry_term)
 
 let dahlia_cmd =
-  let run file config emit execute mems =
+  let run file config emit execute mems tele =
+    with_telemetry ~source:file tele @@ fun () ->
     handle_errors (fun () ->
-        let ic = open_in file in
-        let src = really_input_string ic (in_channel_length ic) in
-        close_in ic;
-        let ctx = Dahlia.To_calyx.compile (Dahlia.Parser.parse_string src) in
+        let src = read_file file in
+        let prog =
+          Tele.Trace.with_span ~cat:"stage" "parse" (fun () ->
+              Dahlia.Parser.parse_string src)
+        in
+        let ctx = Dahlia.To_calyx.compile prog in
         if execute then begin
           let lowered = Calyx.Pipelines.compile ~config ctx in
           let sim = Calyx_sim.Sim.create lowered in
@@ -345,13 +475,25 @@ let dahlia_cmd =
   in
   Cmd.v
     (Cmd.info "dahlia" ~doc:"Compile a Dahlia program to hardware via Calyx.")
-    Term.(const run $ file_arg $ config_term $ emit_term $ execute $ mems_term)
+    Term.(const run $ file_arg $ config_term $ emit_term $ execute $ mems_term
+          $ telemetry_term)
 
 let systolic_cmd =
-  let run rows cols depth config emit execute =
+  let run rows cols depth config emit execute tele =
+    with_telemetry tele @@ fun () ->
     handle_errors (fun () ->
         let d = { Systolic.rows; cols; depth; width = 32 } in
-        let ctx = Systolic.generate d in
+        if Tele.Runtime.on () then
+          Tele.Manifest.set_run
+            ~source:(Printf.sprintf "systolic-%dx%dx%d" rows cols depth)
+            ~source_hash:
+              (Tele.Manifest.hash
+                 (Printf.sprintf "systolic %d %d %d 32" rows cols depth))
+            ~pipeline:(Calyx.Pipelines.id config) ();
+        let ctx =
+          Tele.Trace.with_span ~cat:"stage" "generate" (fun () ->
+              Systolic.generate d)
+        in
         if execute then begin
           let lowered = Calyx.Pipelines.compile ~config ctx in
           let sim = Calyx_sim.Sim.create lowered in
@@ -376,10 +518,13 @@ let systolic_cmd =
   Cmd.v
     (Cmd.info "systolic" ~doc:"Generate a matrix-multiply systolic array (Section 6.1).")
     Term.(const run $ dim "rows" $ dim "cols" $ dim "depth" $ config_term
-          $ emit_term $ Arg.(value & flag & info [ "run" ] ~doc:"Simulate with test data."))
+          $ emit_term
+          $ Arg.(value & flag & info [ "run" ] ~doc:"Simulate with test data.")
+          $ telemetry_term)
 
 let polybench_cmd =
-  let run kernel unrolled config =
+  let run kernel unrolled config tele =
+    with_telemetry tele @@ fun () ->
     handle_errors (fun () ->
         let kernels =
           match kernel with
@@ -410,10 +555,11 @@ let polybench_cmd =
   let unrolled = Arg.(value & flag & info [ "unrolled" ] ~doc:"Use the unrolled variants.") in
   Cmd.v
     (Cmd.info "polybench" ~doc:"Run PolyBench kernels through the Dahlia-to-Calyx flow.")
-    Term.(const run $ kernel $ unrolled $ config_term)
+    Term.(const run $ kernel $ unrolled $ config_term $ telemetry_term)
 
 let profile_cmd =
-  let run file config mems trace json strict engine =
+  let run file config mems trace json strict engine tele =
+    with_telemetry ~source:file tele @@ fun () ->
     let failed = ref false in
     let code =
       handle_errors (fun () ->
@@ -469,9 +615,9 @@ let profile_cmd =
               List.iter
                 (fun (r : Calyx_obs.Profile.latency_row) ->
                   let s = r.lr_stat in
-                  Printf.eprintf
+                  Tele.Log.info
                     "latency mismatch: group %s%s ran %d cycles over %d \
-                     activation(s), expected %s per activation\n"
+                     activation(s), expected %s per activation"
                     (if s.gs_instance = "" then "" else s.gs_instance ^ ".")
                     s.gs_group s.gs_active_cycles s.gs_activations
                     (match r.lr_expected with
@@ -497,10 +643,11 @@ let profile_cmd =
     (Cmd.info "profile"
        ~doc:"Compile a Calyx (or Dahlia) program and print a merged report: per-pass compile statistics plus a runtime profile from interpreting the structured program (per-group active cycles and activations attributed against derived latencies, fixpoint statistics, cell utilization).")
     Term.(const run $ file_arg $ config_term $ mems_term $ trace_term $ json
-          $ strict $ engine_term)
+          $ strict $ engine_term $ telemetry_term)
 
 let cover_cmd =
-  let run file config mems json spans fail_under engine =
+  let run file config mems json spans fail_under engine tele =
+    with_telemetry ~source:file tele @@ fun () ->
     let failed = ref false in
     let code =
       handle_errors (fun () ->
@@ -594,7 +741,7 @@ let cover_cmd =
     (Cmd.info "cover"
        ~doc:"Run a Calyx (or Dahlia) program under the coverage collectors: group-activation, if/while branch, and port-toggle coverage from the reference interpreter, FSM-state coverage from the compiled program, control-tree span traces (Chrome trace_event JSON for Perfetto), and a par critical-path report with per-arm slack cross-checked against derived latencies.")
     Term.(const run $ file_arg $ config_term $ mems_term $ json $ spans_term
-          $ fail_under $ engine_term)
+          $ fail_under $ engine_term $ telemetry_term)
 
 let validate_cmd =
   (* Mirrors [load_mems], but through a Testbench.io so the same --mem
@@ -617,7 +764,8 @@ let validate_cmd =
   in
   let ensure_dir d = if not (Sys.file_exists d) then Sys.mkdir d 0o755 in
   let run files fuzz seed polybench kernel mems config engine max_cycles
-      cex_dir =
+      cex_dir tele =
+    with_telemetry tele @@ fun () ->
     let failures = ref 0 in
     let validate_ctx ~what ?(load = fun _ -> ()) lowered =
       match
@@ -635,6 +783,10 @@ let validate_cmd =
           (* Explicit source files. *)
           List.iter
             (fun file ->
+              if Tele.Runtime.on () then
+                Tele.Manifest.set_run ~source:(Filename.basename file)
+                  ~source_hash:(Tele.Manifest.hash (read_file file))
+                  ~pipeline:(Calyx.Pipelines.id config) ();
               let ctx = parse_source file in
               let lowered = Calyx.Pipelines.compile ~config ctx in
               validate_ctx ~what:(Filename.basename file)
@@ -699,6 +851,11 @@ let validate_cmd =
             for i = 0 to fuzz - 1 do
               let s = seed + i in
               let spec = Calyx.Fuzz_gen.spec_of_seed s in
+              if Tele.Runtime.on () then
+                Tele.Manifest.set_run
+                  ~source:(Printf.sprintf "fuzz-%d" s)
+                  ~source_hash:(Tele.Manifest.hash (Calyx.Fuzz_gen.to_string spec))
+                  ~pipeline:(Calyx.Pipelines.id config) ();
               match fails spec with
               | None -> ()
               | Some descr ->
@@ -777,17 +934,19 @@ let validate_cmd =
     (Cmd.info "validate"
        ~doc:"Translation validation: compile each program through the full pipeline, execute the emitted SystemVerilog with the RTL interpreter and the lowered Calyx with the cycle-accurate simulator on identical inputs, and require exact agreement on cycle count, every register, and every memory. Fuzz failures are shrunk to minimal counterexample programs.")
     Term.(const run $ files $ fuzz $ seed $ polybench $ kernel $ mems_term
-          $ config_term $ engine_term $ max_cycles $ cex_dir)
+          $ config_term $ engine_term $ max_cycles $ cex_dir $ telemetry_term)
 
 let stats_cmd =
-  let run file config json =
+  let run file config json tele =
+    with_telemetry ~source:file tele @@ fun () ->
     handle_errors (fun () ->
-        let ctx = Calyx.Parser.parse_file file in
-        let t0 = Unix.gettimeofday () in
-        let lowered = Calyx.Pipelines.compile ~config ctx in
-        let t1 = Unix.gettimeofday () in
-        let sv = Calyx_verilog.Verilog.emit lowered in
-        let t2 = Unix.gettimeofday () in
+        let ctx = parse_calyx file in
+        let lowered, compile_s =
+          Tele.Clock.timed (fun () -> Calyx.Pipelines.compile ~config ctx)
+        in
+        let sv, emit_s =
+          Tele.Clock.timed (fun () -> Calyx_verilog.Verilog.emit lowered)
+        in
         let main = Calyx.Ir.entry ctx in
         let usage = Calyx_synth.Area.context_usage lowered in
         let timing = Calyx_synth.Timing.context_depth lowered in
@@ -801,8 +960,8 @@ let stats_cmd =
                  ( "control_statements",
                    Calyx.Json.int (Calyx.Ir.control_size main.Calyx.Ir.control)
                  );
-                 ("compile_seconds", Calyx.Json.float (t1 -. t0));
-                 ("emit_seconds", Calyx.Json.float (t2 -. t1));
+                 ("compile_seconds", Calyx.Json.float compile_s);
+                 ("emit_seconds", Calyx.Json.float emit_s);
                  ("loc", Calyx.Json.int (Calyx_verilog.Verilog.loc sv));
                  ( "area",
                    Calyx.Json.obj
@@ -835,8 +994,8 @@ let stats_cmd =
           Printf.printf "groups:             %d\n" (List.length main.Calyx.Ir.groups);
           Printf.printf "control statements: %d\n"
             (Calyx.Ir.control_size main.Calyx.Ir.control);
-          Printf.printf "compile time:       %.4f s\n" (t1 -. t0);
-          Printf.printf "emit time:          %.4f s\n" (t2 -. t1);
+          Printf.printf "compile time:       %.4f s\n" compile_s;
+          Printf.printf "emit time:          %.4f s\n" emit_s;
           Printf.printf "SystemVerilog LOC:  %d\n" (Calyx_verilog.Verilog.loc sv);
           Printf.printf "area estimate:      %s\n"
             (Format.asprintf "%a" Calyx_synth.Area.pp usage);
@@ -861,10 +1020,11 @@ let stats_cmd =
   in
   Cmd.v
     (Cmd.info "stats" ~doc:"Compilation statistics for a Calyx design (Section 7.4).")
-    Term.(const run $ file_arg $ config_term $ json)
+    Term.(const run $ file_arg $ config_term $ json $ telemetry_term)
 
 let timing_cmd =
-  let run file config json paths period =
+  let run file config json paths period tele =
+    with_telemetry ~source:file tele @@ fun () ->
     let failed = ref false in
     let code =
       handle_errors (fun () ->
@@ -913,7 +1073,85 @@ let timing_cmd =
   Cmd.v
     (Cmd.info "timing"
        ~doc:"Static timing analysis of the compiled design: critical-path delay under the width-aware delay model, an Fmax estimate, and the K worst paths attributed back to cells, groups, and the control statements that enable them.")
-    Term.(const run $ file_arg $ config_term $ json $ paths $ period)
+    Term.(const run $ file_arg $ config_term $ json $ paths $ period
+          $ telemetry_term)
+
+let report_cmd =
+  let run files json baseline threshold tele =
+    with_telemetry tele @@ fun () ->
+    let failed = ref false in
+    let code =
+      handle_errors (fun () ->
+          let manifests, benches =
+            List.partition (fun f -> Filename.check_suffix f ".jsonl") files
+          in
+          (* JSONL run manifests aggregate into per-source/per-stage
+             rollups. *)
+          if manifests <> [] then begin
+            let events = List.concat_map Tele.Manifest.read_file manifests in
+            let rollups = Tele.Report.aggregate events in
+            if json then print_endline (Tele.Report.to_json rollups)
+            else print_string (Tele.Report.render rollups)
+          end;
+          (* Bench results files gate compile-time regressions against a
+             baseline recording. *)
+          (match (baseline, benches) with
+          | None, [] when manifests = [] ->
+              Tele.Log.info
+                "report: nothing to do (pass .jsonl manifests and/or a bench \
+                 results file with --baseline)"
+          | None, _ :: _ ->
+              Tele.Log.info
+                "report: bench results given without --baseline; skipping the \
+                 regression comparison"
+          | None, [] -> ()
+          | Some base, benches ->
+              if benches = [] then
+                failwith "report: --baseline needs a current bench results file";
+              let parse_results path = Tele.Json.parse (read_file path) in
+              let baseline_v = parse_results base in
+              List.iter
+                (fun bench ->
+                  let current = parse_results bench in
+                  let deltas, factor =
+                    Tele.Report.compare_perf ~threshold ~baseline:baseline_v
+                      ~current
+                  in
+                  print_string
+                    (Tele.Report.render_perf ~threshold (deltas, factor));
+                  if Tele.Report.regressions deltas <> [] then failed := true)
+                benches))
+    in
+    if code <> 0 then code else if !failed then 1 else 0
+  in
+  let files =
+    Arg.(
+      value & pos_all file []
+      & info [] ~docv:"FILE"
+          ~doc:"Inputs: $(b,.jsonl) run manifests (from --telemetry) and/or a current $(b,BENCH_results.json) to compare against --baseline.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the manifest rollups as a JSON array.")
+  in
+  let baseline =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:"Baseline bench results file; perf rows of the current file are compared against it.")
+  in
+  let threshold =
+    Arg.(
+      value & opt float 0.25
+      & info [ "threshold" ] ~docv:"R"
+          ~doc:"Regression tolerance: a row fails when its runtime ratio exceeds the machine factor (the geomean ratio across all rows, which absorbs baseline-vs-current machine speed differences) by more than $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Aggregate telemetry run manifests into per-kernel, per-stage rollups (invocations, wall time, GC allocation, stage metrics), and gate compile-time regressions by comparing a bench results file against a baseline with machine-factor normalization. Exits non-zero when any row regresses beyond --threshold.")
+    Term.(const run $ files $ json $ baseline $ threshold $ telemetry_term)
 
 let () =
   let doc = "the Calyx compiler infrastructure (OCaml reproduction)" in
@@ -924,5 +1162,5 @@ let () =
           [
             check_cmd; compile_cmd; interp_cmd; sim_cmd; profile_cmd;
             cover_cmd; dahlia_cmd; systolic_cmd; polybench_cmd; validate_cmd;
-            stats_cmd; timing_cmd;
+            stats_cmd; timing_cmd; report_cmd;
           ]))

@@ -50,7 +50,14 @@ let validate_after pass ctx' =
         (Well_formed.Malformed
            (List.map (fun e -> Printf.sprintf "[after %s] %s" pass.name e) errors))
 
+let invocations =
+  Calyx_telemetry.Metrics.counter
+    ~help:"Compiler pass invocations across the process"
+    "calyx_pass_invocations_total"
+
 let run ?(validate = true) ?observe pass ctx =
+  Calyx_telemetry.Metrics.inc invocations;
+  Calyx_telemetry.Trace.with_span ~cat:"pass" pass.name @@ fun () ->
   match observe with
   | None ->
       let ctx' = pass.transform ctx in
@@ -58,9 +65,9 @@ let run ?(validate = true) ?observe pass ctx =
       ctx'
   | Some notify ->
       let before = measure ctx in
-      let t0 = Unix.gettimeofday () in
-      let ctx' = pass.transform ctx in
-      let seconds = Unix.gettimeofday () -. t0 in
+      let ctx', seconds =
+        Calyx_telemetry.Clock.timed (fun () -> pass.transform ctx)
+      in
       if validate then validate_after pass ctx';
       notify
         {

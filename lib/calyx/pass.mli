@@ -4,7 +4,12 @@
     well-formedness after the transformation (on by default), which turns
     pass bugs into early, attributable failures; it also optionally reports
     an {!observation} per pass (wall-clock time and IR size before/after),
-    the raw material of [calyx compile --pass-stats]. *)
+    the raw material of [calyx compile --pass-stats].
+
+    Every invocation additionally opens a telemetry span (category
+    ["pass"]) and bumps the process-wide [calyx_pass_invocations_total]
+    counter — both free when telemetry is disabled (one branch via
+    [Calyx_telemetry.Runtime.on]). *)
 
 type t = {
   name : string;

@@ -1,3 +1,5 @@
+module Tele = Calyx_telemetry
+
 type config = {
   infer_latency : bool;
   resource_sharing : bool;
@@ -43,7 +45,25 @@ let lower config =
 
 let passes config = optimize config @ lower config
 
+(* The pass pipeline id: the run-manifest (and future compile-cache) key
+   component identifying *which* compiler ran. The readable pass list is
+   hashed so the id stays short and stable under pass renames-with-intent
+   (any change to the pass sequence changes the id). *)
+let description config =
+  String.concat "|" (List.map (fun (p : Pass.t) -> p.Pass.name) (passes config))
+
+let id config = Tele.Manifest.hash (description config)
+
+let programs_compiled =
+  Tele.Metrics.counter ~help:"Programs taken through the full pass pipeline"
+    "calyx_programs_compiled_total"
+
 let compile ?(config = default_config) ?observe ctx =
-  Well_formed.check ctx;
-  if config.lint then Lint.check ctx;
+  Tele.Metrics.inc programs_compiled;
+  if Tele.Runtime.on () then Tele.Manifest.set_run ~pipeline:(id config) ();
+  Tele.Trace.with_span ~cat:"stage" "compile" @@ fun () ->
+  Tele.Log.debug "compile: pipeline %s (%s)" (id config) (description config);
+  Tele.Trace.with_span ~cat:"stage" "check" (fun () -> Well_formed.check ctx);
+  if config.lint then
+    Tele.Trace.with_span ~cat:"stage" "lint" (fun () -> Lint.check ctx);
   Pass.run_all ?observe (passes config) ctx

@@ -38,3 +38,12 @@ val compile :
 
 val passes : config -> Pass.t list
 (** The passes {!compile} runs, in order. *)
+
+val description : config -> string
+(** The pass names {!compile} would run, joined with ["|"] — the readable
+    form behind {!id}. *)
+
+val id : config -> string
+(** The pass-pipeline id: a stable 64-bit hash of {!description}, stamped
+    into run manifests and intended as the cache-key component identifying
+    which compiler configuration ran. *)

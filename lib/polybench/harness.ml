@@ -1,3 +1,5 @@
+module Tele = Calyx_telemetry
+
 type result = {
   cycles : int;
   correct : bool;
@@ -6,6 +8,26 @@ type result = {
   timing : Calyx_synth.Timing.report;
   wall_ns : float;
 }
+
+(* Stamp the run-manifest context so every span closed under this kernel
+   run (compile, sim, validate, timing) is attributed to the kernel and
+   the exact pipeline configuration that produced it. *)
+let stamp_run (k : Kernels.kernel) ~unrolled ~config ~engine =
+  if Tele.Runtime.on () then begin
+    let source =
+      if unrolled then Option.value k.Kernels.unrolled ~default:k.Kernels.source
+      else k.Kernels.source
+    in
+    Tele.Manifest.set_run
+      ~source:(if unrolled then k.Kernels.name ^ "-unrolled" else k.Kernels.name)
+      ~source_hash:(Tele.Manifest.hash source)
+      ~pipeline:(Calyx.Pipelines.id config)
+      ~engine:
+        (match engine with
+        | Some `Scheduled -> "scheduled"
+        | Some `Fixpoint | None -> "fixpoint")
+      ()
+  end
 
 let program (k : Kernels.kernel) ~unrolled =
   let source =
@@ -51,6 +73,7 @@ let execute ?(engine = `Fixpoint) (k : Kernels.kernel) prog ctx =
   (cycles, mismatches)
 
 let run ?(config = Calyx.Pipelines.default_config) ?engine k ~unrolled =
+  stamp_run k ~unrolled ~config ~engine;
   let prog = program k ~unrolled in
   let ctx = Dahlia.To_calyx.compile prog in
   let lowered = Calyx.Pipelines.compile ~config ctx in
@@ -73,6 +96,7 @@ type rtl_result = {
 
 let run_rtl ?(config = Calyx.Pipelines.default_config) ?engine ?max_cycles k
     ~unrolled =
+  stamp_run k ~unrolled ~config ~engine;
   let prog = program k ~unrolled in
   let ctx = Dahlia.To_calyx.compile prog in
   let lowered = Calyx.Pipelines.compile ~config ctx in
@@ -89,6 +113,7 @@ let rtl_ok r =
   && r.mismatches_sim = [] && r.mismatches_rtl = []
 
 let run_interp ?engine k ~unrolled =
+  stamp_run k ~unrolled ~config:Calyx.Pipelines.default_config ~engine;
   let prog = program k ~unrolled in
   let ctx = Dahlia.To_calyx.compile prog in
   let cycles, mismatches = execute ?engine k prog ctx in

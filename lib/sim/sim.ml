@@ -1,5 +1,24 @@
 open Calyx
 open Ir
+module Tele = Calyx_telemetry
+
+(* Process-wide instruments. Updates sit off the per-slot hot path (one
+   per settle / one per run) and are single-branch no-ops when telemetry
+   is disabled. *)
+let sim_cycles_total =
+  Tele.Metrics.counter ~help:"Clock cycles simulated across all runs"
+    "calyx_sim_cycles_total"
+
+let fixpoint_iterations_total =
+  Tele.Metrics.counter
+    ~help:"Jacobi fixpoint iterations of the reference engine"
+    "calyx_fixpoint_iterations_total"
+
+let dirty_set_size =
+  Tele.Metrics.histogram
+    ~help:"Nodes touched per scheduled-engine settle"
+    ~buckets:[ 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128.; 256.; 512.; 1024. ]
+    "calyx_sched_dirty_set_size"
 
 exception Timeout of { budget : int; snapshot : string }
 exception Conflict of { cycle : int; message : string; snapshot : string }
@@ -817,6 +836,8 @@ let rec eval_comb inst (inputs : Bitvec.t array) =
     inst.i_next <- old
   done;
   inst.i_iters_cycle <- inst.i_iters_cycle + !iters;
+  if Tele.Runtime.on () then
+    Tele.Metrics.inc ~by:(float_of_int !iters) fixpoint_iterations_total;
   check_conflicts inst
 
 (* ------------------------------------------------------------------ *)
@@ -958,6 +979,8 @@ let rec eval_scheduled inst (inputs : Bitvec.t array) =
               inst.i_comp.comp_name))
   in
   inst.i_iters_cycle <- inst.i_iters_cycle + touched;
+  if Tele.Runtime.on () then
+    Tele.Metrics.observe dirty_set_size (float_of_int touched);
   if st.s_suspects > 0 then check_conflicts inst
 
 and eval_schild inst st c =
@@ -1379,6 +1402,10 @@ let cycle t =
 let done_seen t = t.finished
 
 let run ?(max_cycles = 5_000_000) t =
+  Tele.Trace.with_span ~cat:"stage" "sim" @@ fun () ->
+  if Tele.Runtime.on () then
+    Tele.Trace.add_tag "engine"
+      (match engine t with `Fixpoint -> "fixpoint" | `Scheduled -> "scheduled");
   set_input t "go" (Bitvec.one 1);
   let cycles = ref 0 in
   while (not t.finished) && !cycles < max_cycles do
@@ -1387,6 +1414,10 @@ let run ?(max_cycles = 5_000_000) t =
   done;
   if not t.finished then
     raise (Timeout { budget = max_cycles; snapshot = status t });
+  if Tele.Runtime.on () then begin
+    Tele.Metrics.inc ~by:(float_of_int !cycles) sim_cycles_total;
+    Tele.Trace.add_metric "cycles" (float_of_int !cycles)
+  end;
   !cycles
 
 (* Hierarchical test-bench access. *)

@@ -375,7 +375,14 @@ let component_timing ?(paths = 5) ctx comp =
     paths = (if paths <= 0 then [] else kept);
   }
 
-let context_timing ?paths ctx = component_timing ?paths ctx (entry ctx)
+let context_timing ?paths ctx =
+  Calyx_telemetry.Trace.with_span ~cat:"stage" "timing" @@ fun () ->
+  let t = component_timing ?paths ctx (entry ctx) in
+  if Calyx_telemetry.Runtime.on () then begin
+    Calyx_telemetry.Trace.add_metric "delay_ps" (float_of_int t.delay_ps);
+    Calyx_telemetry.Trace.add_metric "levels" (float_of_int t.levels)
+  end;
+  t
 let component_depth ctx comp = component_timing ~paths:1 ctx comp
 let context_depth ctx = component_depth ctx (entry ctx)
 

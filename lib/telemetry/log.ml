@@ -1,0 +1,39 @@
+type level = Quiet | Info | Debug
+
+let rank = function Quiet -> 0 | Info -> 1 | Debug -> 2
+let label = function Quiet -> "quiet" | Info -> "info" | Debug -> "debug"
+
+let of_string = function
+  | "quiet" | "q" | "0" -> Some Quiet
+  | "info" | "i" | "1" -> Some Info
+  | "debug" | "d" | "2" -> Some Debug
+  | _ -> None
+
+(* CALYX_LOG seeds the level at startup; the CLI's --log-level overrides
+   it via [set_level]. The default is info so the warnings that predate
+   the logger (e.g. latency-contract mismatches) keep printing; an
+   unparseable value falls back to the default rather than failing
+   commands whose output is being piped. *)
+let level =
+  ref
+    (match Sys.getenv_opt "CALYX_LOG" with
+    | Some s -> Option.value (of_string (String.lowercase_ascii s)) ~default:Info
+    | None -> Info)
+
+let set_level l = level := l
+let current () = !level
+let enabled l = rank l <= rank !level
+
+let logf lvl fmt =
+  if enabled lvl then
+    Printf.kfprintf
+      (fun oc ->
+        output_char oc '\n';
+        flush oc)
+      stderr
+      ("calyx[%s] " ^^ fmt)
+      (label lvl)
+  else Printf.ifprintf stderr ("calyx[%s] " ^^ fmt) (label lvl)
+
+let info fmt = logf Info fmt
+let debug fmt = logf Debug fmt

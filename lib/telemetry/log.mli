@@ -1,0 +1,21 @@
+(** One leveled logger for the whole toolchain, replacing ad-hoc stderr
+    prints. Messages go to stderr (stdout stays machine output). The level
+    starts from the [CALYX_LOG] environment variable ([quiet]/[info]/
+    [debug], default info) and the CLI's [--log-level] overrides it. *)
+
+type level = Quiet | Info | Debug
+
+val of_string : string -> level option
+val label : level -> string
+
+val set_level : level -> unit
+val current : unit -> level
+
+val enabled : level -> bool
+(** Whether a message at this level would print. *)
+
+val info : ('a, out_channel, unit) format -> 'a
+(** Progress and summary messages ([--log-level info]). *)
+
+val debug : ('a, out_channel, unit) format -> 'a
+(** Per-stage detail ([--log-level debug]). *)

@@ -1,0 +1,213 @@
+(* A process-wide metrics registry. Instruments are created once (usually
+   at module initialization of the site that updates them) and live for
+   the whole process; updates are gated on Runtime.on so the disabled
+   toolchain pays one branch per site. *)
+
+type histogram = {
+  h_bounds : float array;  (* ascending upper bounds; +inf is implicit *)
+  h_counts : int array;  (* length = bounds + 1; last bucket is +inf *)
+  mutable h_sum : float;
+  mutable h_count : int;
+}
+
+type kind =
+  | Counter of float ref
+  | Gauge of float ref
+  | Histogram of histogram
+
+type instrument = { i_name : string; i_help : string; i_kind : kind }
+
+let registry : (string, instrument) Hashtbl.t = Hashtbl.create 32
+let order : string list ref = ref []  (* registration order, reversed *)
+
+let bad_name name msg = invalid_arg (Printf.sprintf "Metrics.%s: %s" name msg)
+
+let register name help kind =
+  match Hashtbl.find_opt registry name with
+  | Some i -> (
+      (* Re-registration (module reloaded in tests, two sites agreeing on
+         one instrument) returns the existing instrument — but only if the
+         kinds match; a silent kind change would corrupt the exporter. *)
+      match (i.i_kind, kind ()) with
+      | Counter c, `Counter -> `Counter c
+      | Gauge g, `Gauge -> `Gauge g
+      | Histogram h, `Histogram _ -> `Histogram h
+      | _ -> bad_name name "already registered with a different kind")
+  | None ->
+      let k =
+        match kind () with
+        | `Counter -> Counter (ref 0.)
+        | `Gauge -> Gauge (ref 0.)
+        | `Histogram bounds ->
+            let sorted = List.sort_uniq compare bounds in
+            if sorted = [] then bad_name name "histogram needs buckets";
+            Histogram
+              {
+                h_bounds = Array.of_list sorted;
+                h_counts = Array.make (List.length sorted + 1) 0;
+                h_sum = 0.;
+                h_count = 0;
+              }
+      in
+      let i = { i_name = name; i_help = help; i_kind = k } in
+      Hashtbl.replace registry name i;
+      order := name :: !order;
+      (match k with
+      | Counter c -> `Counter c
+      | Gauge g -> `Gauge g
+      | Histogram h -> `Histogram h)
+
+type counter = float ref
+type gauge = float ref
+
+let counter ?(help = "") name =
+  match register name help (fun () -> `Counter) with
+  | `Counter c -> c
+  | _ -> assert false
+
+let gauge ?(help = "") name =
+  match register name help (fun () -> `Gauge) with
+  | `Gauge g -> g
+  | _ -> assert false
+
+let histogram ?(help = "") ~buckets name =
+  match register name help (fun () -> `Histogram buckets) with
+  | `Histogram h -> h
+  | _ -> assert false
+
+let inc ?(by = 1.) c = if Runtime.on () then c := !c +. by
+let set g v = if Runtime.on () then g := v
+
+(* Bucket search is linear: the fixed bucket lists in this toolchain have
+   ~10 entries and observation sites are already off the per-slot hot
+   path (one observe per settle, not per node). *)
+let observe h v =
+  if Runtime.on () then begin
+    let n = Array.length h.h_bounds in
+    let i = ref 0 in
+    while !i < n && v > h.h_bounds.(!i) do
+      incr i
+    done;
+    h.h_counts.(!i) <- h.h_counts.(!i) + 1;
+    h.h_sum <- h.h_sum +. v;
+    h.h_count <- h.h_count + 1
+  end
+
+let peek c = !c
+
+let reset () =
+  Hashtbl.iter
+    (fun _ i ->
+      match i.i_kind with
+      | Counter c | Gauge c -> c := 0.
+      | Histogram h ->
+          Array.fill h.h_counts 0 (Array.length h.h_counts) 0;
+          h.h_sum <- 0.;
+          h.h_count <- 0)
+    registry
+
+let value name =
+  match Hashtbl.find_opt registry name with
+  | Some { i_kind = Counter c; _ } | Some { i_kind = Gauge c; _ } -> Some !c
+  | _ -> None
+
+let histogram_counts name =
+  match Hashtbl.find_opt registry name with
+  | Some { i_kind = Histogram h; _ } ->
+      Some (Array.to_list h.h_counts, h.h_sum, h.h_count)
+  | _ -> None
+
+let registered () = List.rev !order
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* OpenMetrics renders integers without a decimal point and everything
+   else in shortest round-trippable form — Json.float already implements
+   exactly that policy. *)
+let number f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Json.float f
+
+let le_label b =
+  if b = Float.infinity then "+Inf" else number b
+
+(* With [names] the caller's order is kept (golden exports must not
+   depend on module-initialization order); otherwise registration order. *)
+let selected names =
+  let wanted = match names with None -> registered () | Some ns -> ns in
+  List.filter_map (Hashtbl.find_opt registry) wanted
+
+let to_openmetrics ?names () =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun i ->
+      let ty =
+        match i.i_kind with
+        | Counter _ -> "counter"
+        | Gauge _ -> "gauge"
+        | Histogram _ -> "histogram"
+      in
+      if i.i_help <> "" then
+        Buffer.add_string buf
+          (Printf.sprintf "# HELP %s %s\n" i.i_name (String.trim i.i_help));
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" i.i_name ty);
+      match i.i_kind with
+      | Counter c -> Buffer.add_string buf (Printf.sprintf "%s %s\n" i.i_name (number !c))
+      | Gauge g -> Buffer.add_string buf (Printf.sprintf "%s %s\n" i.i_name (number !g))
+      | Histogram h ->
+          let cumulative = ref 0 in
+          Array.iteri
+            (fun bi count ->
+              cumulative := !cumulative + count;
+              let le =
+                if bi < Array.length h.h_bounds then le_label h.h_bounds.(bi)
+                else "+Inf"
+              in
+              Buffer.add_string buf
+                (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" i.i_name le
+                   !cumulative))
+            h.h_counts;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum %s\n" i.i_name (number h.h_sum));
+          Buffer.add_string buf
+            (Printf.sprintf "%s_count %d\n" i.i_name h.h_count))
+    (selected names);
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf
+
+let to_json ?names () =
+  Json.obj
+    (List.map
+       (fun i ->
+         let body =
+           match i.i_kind with
+           | Counter c ->
+               [ ("type", Json.str "counter"); ("value", Json.float !c) ]
+           | Gauge g -> [ ("type", Json.str "gauge"); ("value", Json.float !g) ]
+           | Histogram h ->
+               [
+                 ("type", Json.str "histogram");
+                 ( "buckets",
+                   Json.arr
+                     (Array.to_list
+                        (Array.mapi
+                           (fun bi count ->
+                             Json.obj
+                               [
+                                 ( "le",
+                                   if bi < Array.length h.h_bounds then
+                                     Json.float h.h_bounds.(bi)
+                                   else Json.str "+Inf" );
+                                 ("count", Json.int count);
+                               ])
+                           h.h_counts)) );
+                 ("sum", Json.float h.h_sum);
+                 ("count", Json.int h.h_count);
+               ]
+         in
+         ( i.i_name,
+           Json.obj (body @ if i.i_help = "" then [] else [ ("help", Json.str i.i_help) ]) ))
+       (selected names))

@@ -1,0 +1,52 @@
+(** The process-wide metrics registry: counters, gauges, and fixed-bucket
+    histograms, exported as OpenMetrics/Prometheus text or JSON.
+
+    Instruments are created once — typically at module initialization of
+    the site that updates them — and registration is idempotent: asking
+    for an existing name of the same kind returns the same instrument
+    (a different kind is an [Invalid_argument]). Updates are gated on
+    {!Runtime.on}, so with telemetry disabled every [inc]/[set]/[observe]
+    is a single branch. *)
+
+type counter
+type gauge
+type histogram
+
+val counter : ?help:string -> string -> counter
+val gauge : ?help:string -> string -> gauge
+
+val histogram : ?help:string -> buckets:float list -> string -> histogram
+(** [buckets] are upper bounds (sorted and deduplicated internally); an
+    implicit [+Inf] bucket is appended. Must be non-empty. *)
+
+val inc : ?by:float -> counter -> unit
+val set : gauge -> float -> unit
+
+val observe : histogram -> float -> unit
+(** Record one observation: increments the first bucket whose upper bound
+    is [>=] the value (the [+Inf] bucket otherwise) and updates sum and
+    count. *)
+
+val peek : counter -> float
+(** Current value (reads are not gated). *)
+
+val reset : unit -> unit
+(** Zero every instrument's value, keeping the instruments registered. *)
+
+val value : string -> float option
+(** Current value of a counter or gauge by name. *)
+
+val histogram_counts : string -> (int list * float * int) option
+(** [(per-bucket counts (non-cumulative, +Inf last), sum, count)]. *)
+
+val registered : unit -> string list
+(** Instrument names in registration order. *)
+
+val to_openmetrics : ?names:string list -> unit -> string
+(** OpenMetrics text exposition (ends with [# EOF]). [names] restricts the
+    export to the given instruments, in the given order (unregistered
+    names are skipped). Histograms render cumulative [_bucket{le="..."}]
+    series plus [_sum]/[_count]. *)
+
+val to_json : ?names:string list -> unit -> string
+(** The same data as one JSON object keyed by instrument name. *)

@@ -1,0 +1,13 @@
+(* The single process-wide telemetry switch. Every instrumentation site in
+   the toolchain is guarded by [on ()] — one ref read — so a build with
+   telemetry disabled (the default) pays only that branch. *)
+
+let enabled = ref false
+let on () = !enabled
+let enable () = enabled := true
+let disable () = enabled := false
+
+let with_enabled f =
+  let prev = !enabled in
+  enabled := true;
+  Fun.protect ~finally:(fun () -> enabled := prev) f

@@ -1,0 +1,193 @@
+(* Hierarchical spans: one trace context for a whole toolchain run.
+
+   A span is opened and closed around each pipeline stage (parse, check,
+   each pass, emit, sim, validate, timing, ...) and records wall time from
+   the shared Clock plus GC deltas from Gc.quick_stat — minor and major
+   words allocated and the major-heap size change. Spans nest through an
+   explicit stack; completed spans are optionally buffered (for Chrome
+   trace export) and always handed to the [on_close] hook, which is how
+   Manifest streams one JSONL event per stage without any plumbing through
+   the compiler's APIs. *)
+
+type arg = F of float | S of string
+
+type span = {
+  sp_id : int;
+  sp_parent : int;  (* -1 for roots *)
+  sp_depth : int;
+  sp_name : string;
+  sp_cat : string;
+  sp_start_ns : float;
+  mutable sp_end_ns : float;
+  mutable sp_minor_words : float;
+  mutable sp_major_words : float;
+  mutable sp_heap_delta_words : int;
+  mutable sp_args : (string * arg) list;  (* reversed attachment order *)
+  sp_seq : int;  (* global open order *)
+  mutable sp_seq_close : int;
+}
+
+let next_id = ref 0
+let next_seq = ref 0
+let stack : span list ref = ref []
+let completed : span list ref = ref []  (* reversed close order *)
+let keep = ref false
+let on_close : (span -> unit) ref = ref ignore
+
+let set_keep b = keep := b
+let set_on_close f = on_close := f
+let clear_on_close () = on_close := ignore
+
+let reset () =
+  next_id := 0;
+  next_seq := 0;
+  stack := [];
+  completed := []
+
+let seconds sp = (sp.sp_end_ns -. sp.sp_start_ns) /. 1e9
+
+let spans () =
+  List.sort (fun a b -> compare a.sp_seq b.sp_seq) !completed
+
+let add_arg key v =
+  if Runtime.on () then
+    match !stack with
+    | [] -> ()
+    | sp :: _ -> sp.sp_args <- (key, v) :: sp.sp_args
+
+let add_metric key f = add_arg key (F f)
+let add_tag key s = add_arg key (S s)
+
+let args sp = List.rev sp.sp_args
+
+let find_arg sp key = List.assoc_opt key (args sp)
+
+let metrics sp =
+  List.filter_map
+    (fun (k, v) -> match v with F f -> Some (k, f) | S _ -> None)
+    (args sp)
+
+let with_span ?(cat = "span") ?(args = []) name f =
+  if not (Runtime.on ()) then f ()
+  else begin
+    let g0 = Gc.quick_stat () in
+    let parent, depth =
+      match !stack with
+      | [] -> (-1, 0)
+      | p :: _ -> (p.sp_id, p.sp_depth + 1)
+    in
+    let id = !next_id in
+    incr next_id;
+    let seq = !next_seq in
+    incr next_seq;
+    let sp =
+      {
+        sp_id = id;
+        sp_parent = parent;
+        sp_depth = depth;
+        sp_name = name;
+        sp_cat = cat;
+        sp_start_ns = Clock.now_ns ();
+        sp_end_ns = 0.;
+        sp_minor_words = 0.;
+        sp_major_words = 0.;
+        sp_heap_delta_words = 0;
+        sp_args = List.rev_map (fun (k, v) -> (k, v)) args;
+        sp_seq = seq;
+        sp_seq_close = seq;
+      }
+    in
+    stack := sp :: !stack;
+    let finish () =
+      sp.sp_end_ns <- Clock.now_ns ();
+      let g1 = Gc.quick_stat () in
+      sp.sp_minor_words <- g1.Gc.minor_words -. g0.Gc.minor_words;
+      sp.sp_major_words <- g1.Gc.major_words -. g0.Gc.major_words;
+      sp.sp_heap_delta_words <- g1.Gc.heap_words - g0.Gc.heap_words;
+      sp.sp_seq_close <- !next_seq;
+      incr next_seq;
+      (* Pop this span — and, defensively, anything an exception left
+         above it. *)
+      let rec pop = function
+        | s :: rest when s != sp -> pop rest
+        | s :: rest when s == sp -> rest
+        | l -> l
+      in
+      stack := pop !stack;
+      if !keep then completed := sp :: !completed;
+      !on_close sp
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        sp.sp_args <- ("error", S (Printexc.to_string e)) :: sp.sp_args;
+        finish ();
+        raise e
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event export                                           *)
+(* ------------------------------------------------------------------ *)
+
+let arg_json = function F f -> Json.float f | S s -> Json.str s
+
+(* Complete ("X") events, one per span, on a single pid/tid (the pipeline
+   is one thread of work). [scrub] replaces wall-clock timestamps with the
+   deterministic open/close sequence numbers and drops the GC and error
+   args — the form committed as a golden test, which pins the span
+   *structure* (names, categories, nesting, deterministic metrics like
+   cycle counts) without the run-to-run timing noise. *)
+let to_chrome ?(scrub = false) () =
+  let all = spans () in
+  let events =
+    List.map
+      (fun sp ->
+        let ts, dur =
+          if scrub then
+            (float_of_int sp.sp_seq, float_of_int (sp.sp_seq_close - sp.sp_seq))
+          else (sp.sp_start_ns /. 1e3, (sp.sp_end_ns -. sp.sp_start_ns) /. 1e3)
+        in
+        let args =
+          if scrub then
+            List.filter (fun (k, v) ->
+                match v with F _ -> k <> "seconds" | S _ -> k <> "error")
+              (args sp)
+          else
+            args sp
+            @ [
+                ("gc_minor_words", F sp.sp_minor_words);
+                ("gc_major_words", F sp.sp_major_words);
+                ("gc_heap_delta_words", F (float_of_int sp.sp_heap_delta_words));
+              ]
+        in
+        Json.obj
+          [
+            ("ph", Json.str "X");
+            ("name", Json.str sp.sp_name);
+            ("cat", Json.str sp.sp_cat);
+            ("pid", Json.int 1);
+            ("tid", Json.int 1);
+            ("ts", Json.float ts);
+            ("dur", Json.float dur);
+            ( "args",
+              Json.obj (List.map (fun (k, v) -> (k, arg_json v)) args) );
+          ])
+      all
+  in
+  let metadata =
+    Json.obj
+      [
+        ("ph", Json.str "M");
+        ("name", Json.str "process_name");
+        ("pid", Json.int 1);
+        ("tid", Json.int 1);
+        ("args", Json.obj [ ("name", Json.str "calyx toolchain") ]);
+      ]
+  in
+  Json.obj
+    [
+      ("traceEvents", Json.arr (metadata :: events));
+      ("displayTimeUnit", Json.str "ms");
+    ]

@@ -54,8 +54,19 @@ let mem_to_string vs =
   String.concat ","
     (Array.to_list (Array.map (fun v -> Int64.to_string (Bitvec.to_int64 v)) vs))
 
+let agreements =
+  Calyx_telemetry.Metrics.counter
+    ~help:"Translation validations where simulator and RTL agreed exactly"
+    "calyx_validate_agree_total"
+
+let disagreements =
+  Calyx_telemetry.Metrics.counter
+    ~help:"Translation validations with at least one mismatch"
+    "calyx_validate_disagree_total"
+
 let validate ?(engine = `Fixpoint) ?max_cycles
     ?(load = fun (_ : Calyx_sim.Testbench.io) -> ()) ctx =
+  Calyx_telemetry.Trace.with_span ~cat:"stage" "validate" @@ fun () ->
   let sv = Verilog.emit ctx in
   let sim = Calyx_sim.Sim.create ~engine ctx in
   let rtl = Vinterp.load ~top:ctx.entrypoint sv in
@@ -89,6 +100,13 @@ let validate ?(engine = `Fixpoint) ?max_cycles
       then add path `Memory (mem_to_string s) (mem_to_string r))
     mems;
   let nets, procs = Vinterp.stats rtl in
+  if Calyx_telemetry.Runtime.on () then begin
+    Calyx_telemetry.Metrics.inc
+      (if !mismatches = [] then agreements else disagreements);
+    Calyx_telemetry.Trace.add_metric "mismatches"
+      (float_of_int (List.length !mismatches));
+    Calyx_telemetry.Trace.add_metric "cycles" (float_of_int cycles_sim)
+  end;
   {
     ok = !mismatches = [];
     cycles_sim;

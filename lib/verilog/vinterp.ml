@@ -1156,6 +1156,9 @@ let read_output d name =
   Bitvec.make ~width:d.widths.(id) d.vals.(id)
 
 let run ?(max_cycles = 5_000_000) d =
+  Calyx_telemetry.Trace.with_span ~cat:"stage" "rtl-sim" @@ fun () ->
+  if Calyx_telemetry.Runtime.on () then
+    Calyx_telemetry.Trace.add_tag "engine" "rtl";
   set_input d "go" (Bitvec.one 1);
   let done_id = top_net d "done" in
   let count = ref 0 in
@@ -1169,6 +1172,8 @@ let run ?(max_cycles = 5_000_000) d =
     incr count;
     if not (Int64.equal dv 0L) then finished := true
   done;
+  if Calyx_telemetry.Runtime.on () then
+    Calyx_telemetry.Trace.add_metric "cycles" (float_of_int !count);
   !count
 
 (* ------------------------------------------------------------------ *)

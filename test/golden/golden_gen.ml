@@ -1,8 +1,11 @@
 (* Deterministic renderer behind the golden-file snapshot tests: prints
-   either the structured program (the `calyx compile --emit calyx` view)
-   or the fully lowered SystemVerilog for a source file. The dune rules
-   diff its output against checked-in .expected files; `dune promote`
-   accepts intentional changes. *)
+   the structured program (the `calyx compile --emit calyx` view), the
+   fully lowered SystemVerilog, the timing report, the scrubbed Chrome
+   trace of a whole toolchain run, or the OpenMetrics exposition after
+   one. The dune rules diff its output against checked-in .expected
+   files; `dune promote` accepts intentional changes. *)
+
+module Tele = Calyx_telemetry
 
 let parse file =
   if Filename.check_suffix file ".dahlia" then begin
@@ -12,6 +15,39 @@ let parse file =
     Dahlia.To_calyx.compile (Dahlia.Parser.parse_string src)
   end
   else Calyx.Parser.parse_file file
+
+(* One full telemetry-enabled toolchain run: parse, compile, simulate
+   under both engines, analyze timing, emit. Everything the instruments
+   and spans record for it is deterministic — cycle counts, pass lists,
+   dirty-set sizes — which is what makes these two modes golden-testable
+   (wall-clock fields are scrubbed from the trace and never exported by
+   the registry). *)
+let pipeline_run file =
+  Tele.Runtime.enable ();
+  Tele.Trace.set_keep true;
+  let ctx = Tele.Trace.with_span ~cat:"stage" "parse" (fun () -> parse file) in
+  let lowered = Calyx.Pipelines.compile ctx in
+  List.iter
+    (fun engine ->
+      let sim = Calyx_sim.Sim.create ~engine lowered in
+      ignore (Calyx_sim.Sim.run ~max_cycles:100_000 sim))
+    [ `Fixpoint; `Scheduled ];
+  ignore (Calyx_synth.Timing.context_timing lowered);
+  ignore (Calyx_verilog.Verilog.emit lowered)
+
+(* The toolchain-owned instruments, in registration-independent order, so
+   the golden file does not depend on module initialization order. *)
+let instrument_names =
+  [
+    "calyx_programs_compiled_total";
+    "calyx_pass_invocations_total";
+    "calyx_sim_cycles_total";
+    "calyx_fixpoint_iterations_total";
+    "calyx_sched_dirty_set_size";
+    "calyx_validate_agree_total";
+    "calyx_validate_disagree_total";
+    "calyx_fuzz_programs_total";
+  ]
 
 let () =
   match Sys.argv with
@@ -25,6 +61,12 @@ let () =
       let lowered = Calyx.Pipelines.compile ctx in
       let report = Calyx_synth.Timing.context_timing ~paths:3 lowered in
       print_endline (Calyx_synth.Timing.to_json ~attribute_ctx:ctx report)
+  | [| _; "trace"; file |] ->
+      pipeline_run file;
+      print_string (Tele.Trace.to_chrome ~scrub:true ())
+  | [| _; "metrics"; file |] ->
+      pipeline_run file;
+      print_string (Tele.Metrics.to_openmetrics ~names:instrument_names ())
   | _ ->
-      prerr_endline "usage: golden_gen (print|verilog|timing) FILE";
+      prerr_endline "usage: golden_gen (print|verilog|timing|trace|metrics) FILE";
       exit 2
