@@ -1093,6 +1093,90 @@ let validate () =
   Record.summary "fuzz_agree" (float_of_int !fuzz_ok);
   Record.summary "disagreements" (float_of_int !disagreements)
 
+let farm_bench () =
+  header "farm: cold sequential vs cold parallel vs warm cache";
+  (* A mixed corpus, rebuilt per mode so no run reuses in-memory state.
+     [jobs] is pinned (not recommended_domain_count) so the recorded rows
+     are machine-independent; wall times and ratios carry the _s/_x
+     suffixes that exclude them from the regression diff, while corpus
+     size, hit counts, and outcome identity are deterministic anchors. *)
+  let corpus () =
+    List.map
+      (fun k ->
+        Calyx_farm.Job.make
+          (Calyx_farm.Job.Polybench { kernel = k; unrolled = false }))
+      [ "gemm"; "atax"; "mvt"; "bicg" ]
+    @ [ Calyx_farm.Job.make (Calyx_farm.Job.Systolic { rows = 2; cols = 2; depth = 2 }) ]
+    @ List.map
+        (fun s -> Calyx_farm.Job.make (Calyx_farm.Job.Fuzz { seed = s }))
+        [ 2026; 2027; 2028; 2029 ]
+  in
+  let outcomes (s : Calyx_farm.Farm.summary) =
+    List.map
+      (fun r -> Calyx_farm.Job.outcome_to_json r.Calyx_farm.Farm.outcome)
+      s.Calyx_farm.Farm.results
+  in
+  let cache_dir = "_farm_bench_cache" in
+  let rm_cache () =
+    if Sys.file_exists cache_dir then begin
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat cache_dir f))
+        (Sys.readdir cache_dir);
+      Sys.rmdir cache_dir
+    end
+  in
+  rm_cache ();
+  let jobs = 2 in
+  let cold_seq = Calyx_farm.Farm.run ~jobs:1 (corpus ()) in
+  let cold_par =
+    Calyx_farm.Farm.run ~jobs
+      ~cache:(Calyx_farm.Cache.open_dir cache_dir)
+      (corpus ())
+  in
+  let warm =
+    Calyx_farm.Farm.run ~jobs
+      ~cache:(Calyx_farm.Cache.open_dir cache_dir)
+      (corpus ())
+  in
+  rm_cache ();
+  let n = List.length (corpus ()) in
+  let identical =
+    outcomes cold_seq = outcomes cold_par && outcomes cold_seq = outcomes warm
+  in
+  Printf.printf "%-10s %5s %6s %8s\n" "mode" "jobs" "hits" "wall_s";
+  let mode name jobs (s : Calyx_farm.Farm.summary) =
+    Printf.printf "%-10s %5d %6d %8.3f\n" name jobs s.Calyx_farm.Farm.hits
+      s.Calyx_farm.Farm.wall_s;
+    Record.row
+      [
+        ("mode", Json.str name);
+        ("jobs", Json.int jobs);
+        ("hits", Json.int s.Calyx_farm.Farm.hits);
+        ("stores", Json.int s.Calyx_farm.Farm.stores);
+        ("wall_s", Json.float s.Calyx_farm.Farm.wall_s);
+      ]
+  in
+  mode "cold-seq" 1 cold_seq;
+  mode "cold-par" jobs cold_par;
+  mode "warm" jobs warm;
+  Record.row
+    [
+      ("mode", Json.str "corpus");
+      ("size", Json.int n);
+      ("outcomes_identical", Json.bool identical);
+    ];
+  let warm_speedup = cold_seq.Calyx_farm.Farm.wall_s /. warm.Calyx_farm.Farm.wall_s in
+  Printf.printf
+    "corpus %d job(s); outcomes identical across modes: %s\n\
+     warm over cold-seq: %.1fx; cold-par over cold-seq: %.2fx\n"
+    n
+    (if identical then "yes" else "NO")
+    warm_speedup
+    (cold_seq.Calyx_farm.Farm.wall_s /. cold_par.Calyx_farm.Farm.wall_s);
+  Record.summary "warm_speedup_x" warm_speedup;
+  Record.summary "parallel_speedup_x"
+    (cold_seq.Calyx_farm.Farm.wall_s /. cold_par.Calyx_farm.Farm.wall_s)
+
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -1112,6 +1196,7 @@ let experiments =
     ("telemetry", telemetry_bench);
     ("cover", cover);
     ("validate", validate);
+    ("farm", farm_bench);
     ("timing", timing_bench);
     ("perf", perf);
   ]

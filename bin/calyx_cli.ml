@@ -11,6 +11,8 @@
      dahlia     compile a Dahlia program (optionally run it)
      systolic   generate (and optionally run) a systolic array
      polybench  run PolyBench kernels and report cycles/area/Fmax
+     farm       batch compile/sim/validate/timing jobs across domains,
+                with a content-addressed result cache
      stats      compilation statistics for a design (Section 7.4)
      timing     static timing analysis: critical path, Fmax, worst paths
      report     aggregate telemetry manifests; gate perf regressions
@@ -20,6 +22,9 @@
 
 open Cmdliner
 module Tele = Calyx_telemetry
+module Farm = Calyx_farm.Farm
+module Fjob = Calyx_farm.Job
+module Fcache = Calyx_farm.Cache
 
 (* ------------------------------------------------------------------ *)
 (* Shared options                                                      *)
@@ -523,7 +528,7 @@ let systolic_cmd =
           $ telemetry_term)
 
 let polybench_cmd =
-  let run kernel unrolled config tele =
+  let run kernel unrolled engine farm_jobs cache_dir config tele =
     with_telemetry tele @@ fun () ->
     handle_errors (fun () ->
         let kernels =
@@ -533,29 +538,59 @@ let polybench_cmd =
               if unrolled then Polybench.Kernels.unrollable
               else Polybench.Kernels.all
         in
+        (* Kernels are submitted through the farm: they compile and
+           simulate [--jobs] at a time (and short-circuit through the
+           result cache under --cache), while the table stays in kernel
+           order because farm results come back in submission order. *)
+        let jobs =
+          List.map
+            (fun k ->
+              Fjob.make ~config ~engine
+                (Fjob.Polybench
+                   { kernel = k.Polybench.Kernels.name; unrolled }))
+            kernels
+        in
+        let cache = Option.map Fcache.open_dir cache_dir in
+        let summary = Farm.run ?jobs:farm_jobs ?cache jobs in
         Printf.printf "%-12s %10s %8s %8s %6s %9s %10s  %s\n" "kernel" "cycles"
           "LUTs" "regs" "DSPs" "Fmax_MHz" "wall_ns" "check";
         List.iter
-          (fun k ->
-            let r = Polybench.Harness.run ~config k ~unrolled in
+          (fun r ->
+            let o = r.Farm.outcome in
+            let wall_ns =
+              if o.Fjob.o_fmax_mhz > 0. then
+                float_of_int o.Fjob.o_cycles *. 1000. /. o.Fjob.o_fmax_mhz
+              else 0.
+            in
             Printf.printf "%-12s %10d %8d %8d %6d %9.1f %10.1f  %s\n"
-              k.Polybench.Kernels.name
-              r.Polybench.Harness.cycles r.Polybench.Harness.area.Calyx_synth.Area.luts
-              r.Polybench.Harness.area.Calyx_synth.Area.registers
-              r.Polybench.Harness.area.Calyx_synth.Area.dsps
-              r.Polybench.Harness.timing.Calyx_synth.Timing.fmax_mhz
-              r.Polybench.Harness.wall_ns
-              (if r.Polybench.Harness.correct then "ok"
-               else "MISMATCH: " ^ String.concat "," r.Polybench.Harness.mismatches))
-          kernels)
+              o.Fjob.o_label o.Fjob.o_cycles o.Fjob.o_luts
+              o.Fjob.o_register_bits o.Fjob.o_dsps o.Fjob.o_fmax_mhz wall_ns
+              (if o.Fjob.o_ok then "ok"
+               else "MISMATCH: " ^ String.concat "; " o.Fjob.o_diagnostics))
+          summary.Farm.results)
   in
   let kernel =
     Arg.(value & pos 0 (some string) None & info [] ~docv:"KERNEL" ~doc:"Kernel name (default: all).")
   in
   let unrolled = Arg.(value & flag & info [ "unrolled" ] ~doc:"Use the unrolled variants.") in
+  let farm_jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Worker domains (default: the machine's recommended domain count).")
+  in
+  let cache_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache" ] ~docv:"DIR"
+          ~doc:"Serve previously computed kernel results from the farm cache at $(docv).")
+  in
   Cmd.v
-    (Cmd.info "polybench" ~doc:"Run PolyBench kernels through the Dahlia-to-Calyx flow.")
-    Term.(const run $ kernel $ unrolled $ config_term $ telemetry_term)
+    (Cmd.info "polybench" ~doc:"Run PolyBench kernels through the Dahlia-to-Calyx flow (batched on the compile/sim farm).")
+    Term.(const run $ kernel $ unrolled $ engine_term $ farm_jobs $ cache_dir
+          $ config_term $ telemetry_term)
 
 let profile_cmd =
   let run file config mems trace json strict engine tele =
@@ -764,9 +799,10 @@ let validate_cmd =
   in
   let ensure_dir d = if not (Sys.file_exists d) then Sys.mkdir d 0o755 in
   let run files fuzz seed polybench kernel mems config engine max_cycles
-      cex_dir tele =
+      cex_dir farm_jobs cache_dir tele =
     with_telemetry tele @@ fun () ->
     let failures = ref 0 in
+    let cache = Option.map Fcache.open_dir cache_dir in
     let validate_ctx ~what ?(load = fun _ -> ()) lowered =
       match
         Calyx_verilog.Validate.validate ~engine ?max_cycles ~load lowered
@@ -793,35 +829,75 @@ let validate_cmd =
                 ~load:(load_mems_io mems) lowered)
             files;
           (* PolyBench kernels: both backends additionally checked against
-             the kernel's golden reference. *)
+             the kernel's golden reference. The corpus goes through the
+             farm (validation included in each job), except under an
+             explicit --max-cycles budget, which only the direct harness
+             can express. *)
           if polybench then begin
             let kernels =
               match kernel with
               | Some name -> [ Polybench.Kernels.find name ]
               | None -> Polybench.Kernels.all
             in
-            List.iter
-              (fun k ->
-                let name = k.Polybench.Kernels.name in
-                match
-                  Polybench.Harness.run_rtl ~config ~engine ?max_cycles k
-                    ~unrolled:false
-                with
-                | r ->
-                    Format.printf "%-24s %a; ref %s@." name
-                      Calyx_verilog.Validate.pp_report
-                      r.Polybench.Harness.report
-                      (if
-                         r.Polybench.Harness.mismatches_sim = []
-                         && r.Polybench.Harness.mismatches_rtl = []
-                       then "ok"
-                       else "MISMATCH");
-                    if not (Polybench.Harness.rtl_ok r) then incr failures
-                | exception e ->
-                    Format.printf "%-24s CRASH: %s@." name
-                      (Printexc.to_string e);
-                    incr failures)
-              kernels
+            match max_cycles with
+            | Some _ ->
+                List.iter
+                  (fun k ->
+                    let name = k.Polybench.Kernels.name in
+                    match
+                      Polybench.Harness.run_rtl ~config ~engine ?max_cycles k
+                        ~unrolled:false
+                    with
+                    | r ->
+                        Format.printf "%-24s %a; ref %s@." name
+                          Calyx_verilog.Validate.pp_report
+                          r.Polybench.Harness.report
+                          (if
+                             r.Polybench.Harness.mismatches_sim = []
+                             && r.Polybench.Harness.mismatches_rtl = []
+                           then "ok"
+                           else "MISMATCH");
+                        if not (Polybench.Harness.rtl_ok r) then incr failures
+                    | exception e ->
+                        Format.printf "%-24s CRASH: %s@." name
+                          (Printexc.to_string e);
+                        incr failures)
+                  kernels
+            | None ->
+                let jobs =
+                  List.map
+                    (fun k ->
+                      Fjob.make ~config ~engine ~validate:true
+                        (Fjob.Polybench
+                           {
+                             kernel = k.Polybench.Kernels.name;
+                             unrolled = false;
+                           }))
+                    kernels
+                in
+                let summary = Farm.run ?jobs:farm_jobs ?cache jobs in
+                List.iter
+                  (fun r ->
+                    let o = r.Farm.outcome in
+                    (match o.Fjob.o_validate with
+                    | Some v ->
+                        Format.printf
+                          "%-24s %s: %d cycle(s) (rtl %d), %d register(s), \
+                           %d memory(ies); ref %s@."
+                          o.Fjob.o_label
+                          (if v.Fjob.v_ok then "agree" else "DISAGREE")
+                          o.Fjob.o_cycles v.Fjob.v_cycles_rtl
+                          v.Fjob.v_registers_checked v.Fjob.v_memories_checked
+                          (if o.Fjob.o_diagnostics = [] then "ok"
+                           else "MISMATCH");
+                        List.iter
+                          (fun m -> Format.printf "  %s@." m)
+                          v.Fjob.v_mismatches
+                    | None ->
+                        Format.printf "%-24s CRASH: %s@." o.Fjob.o_label
+                          (String.concat "; " o.Fjob.o_diagnostics));
+                    if not o.Fjob.o_ok then incr failures)
+                  summary.Farm.results
           end;
           (* Random programs; failures are shrunk to a minimal spec and
              written out as counterexample files. *)
@@ -848,37 +924,69 @@ let validate_cmd =
               | Some smaller -> minimize smaller
               | None -> (spec, descr)
             in
-            for i = 0 to fuzz - 1 do
-              let s = seed + i in
-              let spec = Calyx.Fuzz_gen.spec_of_seed s in
-              if Tele.Runtime.on () then
-                Tele.Manifest.set_run
-                  ~source:(Printf.sprintf "fuzz-%d" s)
-                  ~source_hash:(Tele.Manifest.hash (Calyx.Fuzz_gen.to_string spec))
-                  ~pipeline:(Calyx.Pipelines.id config) ();
-              match fails spec with
-              | None -> ()
-              | Some descr ->
-                  incr failures;
-                  let spec, descr = minimize (spec, descr) in
-                  ensure_dir cex_dir;
-                  let path =
-                    Filename.concat cex_dir (Printf.sprintf "fuzz_%d.futil" s)
-                  in
-                  write_file path
-                    (Printf.sprintf
-                       "// seed: %d\n// spec: %s\n%s\n%s" s
-                       (Calyx.Fuzz_gen.to_string spec)
-                       (comment ("failure: " ^ descr))
-                       (Calyx.Printer.to_string (Calyx.Fuzz_gen.build spec)));
-                  Format.printf
-                    "fuzz seed %d             FAILED: %s@.  minimized \
-                     counterexample (%d nodes): %s@.  written to %s@."
-                    s descr
-                    (Calyx.Fuzz_gen.size spec)
-                    (Calyx.Fuzz_gen.to_string spec)
-                    path
-            done;
+            (* Shrinking stays on the calling domain: it is a sequential
+               search where each step depends on the last, so only the
+               initial sweep is worth farming out. *)
+            let report_failure s spec descr =
+              incr failures;
+              let spec, descr = minimize (spec, descr) in
+              ensure_dir cex_dir;
+              let path =
+                Filename.concat cex_dir (Printf.sprintf "fuzz_%d.futil" s)
+              in
+              write_file path
+                (Printf.sprintf
+                   "// seed: %d\n// spec: %s\n%s\n%s" s
+                   (Calyx.Fuzz_gen.to_string spec)
+                   (comment ("failure: " ^ descr))
+                   (Calyx.Printer.to_string (Calyx.Fuzz_gen.build spec)));
+              Format.printf
+                "fuzz seed %d             FAILED: %s@.  minimized \
+                 counterexample (%d nodes): %s@.  written to %s@."
+                s descr
+                (Calyx.Fuzz_gen.size spec)
+                (Calyx.Fuzz_gen.to_string spec)
+                path
+            in
+            (match max_cycles with
+            | Some _ ->
+                for i = 0 to fuzz - 1 do
+                  let s = seed + i in
+                  let spec = Calyx.Fuzz_gen.spec_of_seed s in
+                  if Tele.Runtime.on () then
+                    Tele.Manifest.set_run
+                      ~source:(Printf.sprintf "fuzz-%d" s)
+                      ~source_hash:
+                        (Tele.Manifest.hash (Calyx.Fuzz_gen.to_string spec))
+                      ~pipeline:(Calyx.Pipelines.id config) ();
+                  match fails spec with
+                  | None -> ()
+                  | Some descr -> report_failure s spec descr
+                done
+            | None ->
+                let seeds = List.init fuzz (fun i -> seed + i) in
+                let jobs =
+                  List.map
+                    (fun s ->
+                      Fjob.make ~config ~engine ~validate:true
+                        (Fjob.Fuzz { seed = s }))
+                    seeds
+                in
+                let summary = Farm.run ?jobs:farm_jobs ?cache jobs in
+                List.iter2
+                  (fun s r ->
+                    let o = r.Farm.outcome in
+                    if not o.Fjob.o_ok then
+                      let descr =
+                        String.concat "; "
+                          (o.Fjob.o_diagnostics
+                          @
+                          match o.Fjob.o_validate with
+                          | Some v -> v.Fjob.v_mismatches
+                          | None -> [])
+                      in
+                      report_failure s (Calyx.Fuzz_gen.spec_of_seed s) descr)
+                  seeds summary.Farm.results);
             Format.printf "fuzz: %d program(s) validated from seed %d@." fuzz
               seed
           end)
@@ -930,11 +1038,239 @@ let validate_cmd =
       & info [ "counterexamples" ] ~docv:"DIR"
           ~doc:"Directory for minimized failing programs from --fuzz.")
   in
+  let farm_jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Worker domains for the --polybench/--fuzz corpora (default: the machine's recommended domain count).")
+  in
+  let cache_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache" ] ~docv:"DIR"
+          ~doc:"Serve previously validated --polybench/--fuzz results from the farm cache at $(docv).")
+  in
   Cmd.v
     (Cmd.info "validate"
-       ~doc:"Translation validation: compile each program through the full pipeline, execute the emitted SystemVerilog with the RTL interpreter and the lowered Calyx with the cycle-accurate simulator on identical inputs, and require exact agreement on cycle count, every register, and every memory. Fuzz failures are shrunk to minimal counterexample programs.")
+       ~doc:"Translation validation: compile each program through the full pipeline, execute the emitted SystemVerilog with the RTL interpreter and the lowered Calyx with the cycle-accurate simulator on identical inputs, and require exact agreement on cycle count, every register, and every memory. The --polybench and --fuzz corpora run on the compile/sim farm (--jobs domains, optional --cache). Fuzz failures are shrunk to minimal counterexample programs.")
     Term.(const run $ files $ fuzz $ seed $ polybench $ kernel $ mems_term
-          $ config_term $ engine_term $ max_cycles $ cex_dir $ telemetry_term)
+          $ config_term $ engine_term $ max_cycles $ cex_dir $ farm_jobs
+          $ cache_dir $ telemetry_term)
+
+let farm_cmd =
+  let int_or_bad what s =
+    match int_of_string_opt s with
+    | Some v -> v
+    | None -> failwith (Printf.sprintf "farm: bad %s %S" what s)
+  in
+  let systolic_source s =
+    match String.split_on_char 'x' (String.lowercase_ascii s) with
+    | [ r; c; d ] ->
+        Fjob.Systolic
+          {
+            rows = int_or_bad "--systolic dimension" r;
+            cols = int_or_bad "--systolic dimension" c;
+            depth = int_or_bad "--systolic dimension" d;
+          }
+    | _ -> failwith ("farm: bad --systolic argument (expected RxCxD): " ^ s)
+  in
+  (* A corpus manifest is one job per line:
+       file PATH
+       polybench NAME [unrolled]
+       systolic R C D
+       fuzz SEED
+     Blank lines and #-comments are skipped. *)
+  let manifest_sources path =
+    String.split_on_char '\n' (read_file path)
+    |> List.concat_map (fun line ->
+           let line = String.trim line in
+           if line = "" || line.[0] = '#' then []
+           else
+             match
+               String.split_on_char ' ' line
+               |> List.filter (fun w -> w <> "")
+             with
+             | [ "file"; p ] -> [ `File p ]
+             | [ "polybench"; name ] ->
+                 [ `Source (Fjob.Polybench { kernel = name; unrolled = false }) ]
+             | [ "polybench"; name; "unrolled" ] ->
+                 [ `Source (Fjob.Polybench { kernel = name; unrolled = true }) ]
+             | [ "systolic"; r; c; d ] ->
+                 [
+                   `Source
+                     (Fjob.Systolic
+                        {
+                          rows = int_or_bad "manifest dimension" r;
+                          cols = int_or_bad "manifest dimension" c;
+                          depth = int_or_bad "manifest dimension" d;
+                        });
+                 ]
+             | [ "fuzz"; s ] ->
+                 [ `Source (Fjob.Fuzz { seed = int_or_bad "manifest seed" s }) ]
+             | _ ->
+                 failwith
+                   (Printf.sprintf "%s: unrecognized manifest line %S" path
+                      line))
+  in
+  let run files polybench kernel unrolled systolic fuzz seed manifest validate
+      engine farm_jobs cache_dir no_cache json min_hit_rate config tele =
+    with_telemetry tele @@ fun () ->
+    let job_failed = ref false in
+    let gate_failed = ref false in
+    let code =
+      handle_errors (fun () ->
+          let mk = Fjob.make ~config ~engine ~validate in
+          let of_file = Fjob.of_file ~config ~engine ~validate in
+          let kernel_jobs =
+            if not polybench then []
+            else
+              let kernels =
+                match kernel with
+                | Some name -> [ Polybench.Kernels.find name ]
+                | None ->
+                    if unrolled then Polybench.Kernels.unrollable
+                    else Polybench.Kernels.all
+              in
+              List.map
+                (fun k ->
+                  mk
+                    (Fjob.Polybench
+                       { kernel = k.Polybench.Kernels.name; unrolled }))
+                kernels
+          in
+          let manifest_jobs =
+            match manifest with
+            | None -> []
+            | Some path ->
+                List.map
+                  (function `File p -> of_file p | `Source s -> mk s)
+                  (manifest_sources path)
+          in
+          let jobs =
+            List.map of_file files
+            @ kernel_jobs
+            @ List.map (fun s -> mk (systolic_source s)) systolic
+            @ List.init fuzz (fun i -> mk (Fjob.Fuzz { seed = seed + i }))
+            @ manifest_jobs
+          in
+          if jobs = [] then
+            failwith
+              "farm: no jobs (pass FILES, --polybench, --systolic, --fuzz, \
+               or --manifest)";
+          let cache =
+            if no_cache then None else Some (Fcache.open_dir cache_dir)
+          in
+          let summary = Farm.run ?jobs:farm_jobs ?cache jobs in
+          if json then print_endline (Farm.to_json summary)
+          else print_string (Farm.render summary);
+          if
+            List.exists
+              (fun r -> not r.Farm.outcome.Fjob.o_ok)
+              summary.Farm.results
+          then job_failed := true;
+          match min_hit_rate with
+          | Some pct when Farm.hit_rate summary < pct ->
+              Printf.eprintf
+                "farm: cache hit rate %.1f%% is below the required %.1f%%\n"
+                (Farm.hit_rate summary) pct;
+              gate_failed := true
+          | _ -> ())
+    in
+    if code <> 0 then code
+    else if !job_failed || !gate_failed then 1
+    else 0
+  in
+  let files =
+    Arg.(
+      value & pos_all file []
+      & info [] ~docv:"FILE" ~doc:"Calyx or Dahlia source files to run as jobs.")
+  in
+  let polybench =
+    Arg.(
+      value & flag
+      & info [ "polybench" ] ~doc:"Add the PolyBench kernels to the batch.")
+  in
+  let kernel =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "kernel" ] ~docv:"NAME"
+          ~doc:"With --polybench, submit only this kernel.")
+  in
+  let unrolled =
+    Arg.(
+      value & flag
+      & info [ "unrolled" ]
+          ~doc:"With --polybench, use the unrolled variants.")
+  in
+  let systolic =
+    Arg.(
+      value & opt_all string []
+      & info [ "systolic" ] ~docv:"RxCxD"
+          ~doc:"Add a systolic-array job of the given dimensions. Repeatable.")
+  in
+  let fuzz =
+    Arg.(
+      value & opt int 0
+      & info [ "fuzz" ] ~docv:"N"
+          ~doc:"Add $(docv) randomly generated programs to the batch.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 2026
+      & info [ "seed" ] ~docv:"S"
+          ~doc:"Base seed for --fuzz (program $(i,i) uses seed S+i).")
+  in
+  let manifest =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "manifest" ] ~docv:"FILE"
+          ~doc:"Corpus manifest: one job per line ($(b,file PATH), $(b,polybench NAME [unrolled]), $(b,systolic R C D), $(b,fuzz SEED)); blank lines and #-comments skipped.")
+  in
+  let validate =
+    Arg.(
+      value & flag
+      & info [ "validate" ]
+          ~doc:"Additionally run RTL translation validation in every job.")
+  in
+  let farm_jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Worker domains (default: the machine's recommended domain count).")
+  in
+  let cache_dir =
+    Arg.(
+      value & opt string "_calyx_cache"
+      & info [ "cache" ] ~docv:"DIR" ~doc:"Result cache directory.")
+  in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ] ~doc:"Run every job cold; touch no cache.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the batch summary as JSON.")
+  in
+  let min_hit_rate =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "min-hit-rate" ] ~docv:"PCT"
+          ~doc:"Fail (exit 1) when the cache hit rate of this run is below $(docv) percent — the CI warm-cache gate.")
+  in
+  Cmd.v
+    (Cmd.info "farm"
+       ~doc:"Batch compile/sim/validate/timing jobs across OCaml domains with a content-addressed result cache. The batch is assembled from source FILES, --polybench, --systolic, --fuzz, and/or a --manifest corpus; results are reported in submission order and are byte-identical whether computed sequentially, in parallel, or served from the cache.")
+    Term.(const run $ files $ polybench $ kernel $ unrolled $ systolic $ fuzz
+          $ seed $ manifest $ validate $ engine_term $ farm_jobs $ cache_dir
+          $ no_cache $ json $ min_hit_rate $ config_term $ telemetry_term)
 
 let stats_cmd =
   let run file config json tele =
@@ -1161,6 +1497,6 @@ let () =
           (Cmd.info "calyx" ~version:"1.0.0" ~doc)
           [
             check_cmd; compile_cmd; interp_cmd; sim_cmd; profile_cmd;
-            cover_cmd; dahlia_cmd; systolic_cmd; polybench_cmd; validate_cmd;
-            stats_cmd; timing_cmd; report_cmd;
+            cover_cmd; dahlia_cmd; systolic_cmd; polybench_cmd; farm_cmd;
+            validate_cmd; stats_cmd; timing_cmd; report_cmd;
           ]))

@@ -1,0 +1,22 @@
+(** A worker pool over OCaml 5 domains: the farm's scheduler.
+
+    One shared queue (an atomic next-index over the input array — the
+    simplest correct work distribution for jobs this coarse), [jobs]
+    workers including the calling domain, results returned in input
+    order regardless of completion order. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the pool size used when the
+    caller does not pass [--jobs]. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f items] applies [f] to every item, [jobs] at a time, and
+    returns the results in the order of [items]. [jobs <= 1] degrades to
+    a plain sequential [List.map] on the calling domain (no domains are
+    spawned), which is the reference behaviour the determinism suite
+    compares parallel runs against.
+
+    If [f] raises, remaining unstarted items are abandoned and the first
+    exception (in completion order) is re-raised on the calling domain
+    after all workers have joined. Callers that need per-item failures
+    should catch inside [f]. *)

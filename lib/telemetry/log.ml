@@ -24,16 +24,20 @@ let set_level l = level := l
 let current () = !level
 let enabled l = rank l <= rank !level
 
+(* One mutex around the actual write so lines logged from farm worker
+   domains never interleave mid-line on stderr. *)
+let write_mutex = Mutex.create ()
+
 let logf lvl fmt =
   if enabled lvl then
-    Printf.kfprintf
-      (fun oc ->
-        output_char oc '\n';
-        flush oc)
-      stderr
-      ("calyx[%s] " ^^ fmt)
-      (label lvl)
-  else Printf.ifprintf stderr ("calyx[%s] " ^^ fmt) (label lvl)
+    Printf.ksprintf
+      (fun line ->
+        Mutex.lock write_mutex;
+        output_string stderr ("calyx[" ^ label lvl ^ "] " ^ line ^ "\n");
+        flush stderr;
+        Mutex.unlock write_mutex)
+      fmt
+  else Printf.ikfprintf (fun () -> ()) () fmt
 
 let info fmt = logf Info fmt
 let debug fmt = logf Debug fmt

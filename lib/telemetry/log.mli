@@ -14,8 +14,10 @@ val current : unit -> level
 val enabled : level -> bool
 (** Whether a message at this level would print. *)
 
-val info : ('a, out_channel, unit) format -> 'a
+val info : ('a, unit, string, unit) format4 -> 'a
 (** Progress and summary messages ([--log-level info]). *)
 
-val debug : ('a, out_channel, unit) format -> 'a
-(** Per-stage detail ([--log-level debug]). *)
+val debug : ('a, unit, string, unit) format4 -> 'a
+(** Per-stage detail ([--log-level debug]). Each message is formatted to
+    one string and written atomically, so messages from concurrent farm
+    worker domains never interleave mid-line. *)

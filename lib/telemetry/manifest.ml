@@ -50,15 +50,23 @@ type context = {
   mutable cx_engine : string;
 }
 
-let context = { cx_source = ""; cx_source_hash = ""; cx_pipeline = ""; cx_engine = "" }
+(* The run context is domain-local: each farm worker stamps the job it is
+   currently executing, so events from concurrently running jobs are
+   attributed to their own sources instead of racing on one record. *)
+let context_key : context Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { cx_source = ""; cx_source_hash = ""; cx_pipeline = ""; cx_engine = "" })
+
+let context () = Domain.DLS.get context_key
 
 let set_run ?source ?source_hash ?pipeline ?engine () =
+  let context = context () in
   Option.iter (fun s -> context.cx_source <- s) source;
   Option.iter (fun s -> context.cx_source_hash <- s) source_hash;
   Option.iter (fun s -> context.cx_pipeline <- s) pipeline;
   Option.iter (fun s -> context.cx_engine <- s) engine
 
-let run_source () = context.cx_source
+let run_source () = (context ()).cx_source
 
 (* ------------------------------------------------------------------ *)
 (* JSON round-trip                                                     *)
@@ -139,15 +147,28 @@ let read_file path =
 (* Writing                                                             *)
 (* ------------------------------------------------------------------ *)
 
-type writer = { w_oc : out_channel; mutable w_events : int }
+type writer = {
+  w_oc : out_channel;
+  w_mutex : Mutex.t;
+  mutable w_events : int;
+}
 
-let open_file path = { w_oc = open_out path; w_events = 0 }
+let open_file path =
+  { w_oc = open_out path; w_mutex = Mutex.create (); w_events = 0 }
 
+(* One full line per event, written with a single [output_string] under
+   the writer's mutex: N domains appending concurrently can never
+   interleave partial lines, and every flushed prefix of the file is
+   valid JSONL (manifests survive a crashed run). *)
 let emit w e =
-  output_string w.w_oc (to_json e);
-  output_char w.w_oc '\n';
-  flush w.w_oc;
-  w.w_events <- w.w_events + 1
+  let line = to_json e ^ "\n" in
+  Mutex.lock w.w_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock w.w_mutex)
+    (fun () ->
+      output_string w.w_oc line;
+      flush w.w_oc;
+      w.w_events <- w.w_events + 1)
 
 let events_written w = w.w_events
 
@@ -158,6 +179,7 @@ let close w = close_out w.w_oc
 (* ------------------------------------------------------------------ *)
 
 let event_of_span (sp : Trace.span) =
+  let context = context () in
   let engine =
     match Trace.find_arg sp "engine" with
     | Some (Trace.S e) -> e
@@ -178,6 +200,7 @@ let event_of_span (sp : Trace.span) =
   }
 
 let record ?(cat = "event") ?(engine = "") ?(seconds = 0.) ?(data = []) w stage =
+  let context = context () in
   emit w
     {
       mf_stage = stage;

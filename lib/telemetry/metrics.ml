@@ -20,9 +20,21 @@ type instrument = { i_name : string; i_help : string; i_kind : kind }
 let registry : (string, instrument) Hashtbl.t = Hashtbl.create 32
 let order : string list ref = ref []  (* registration order, reversed *)
 
+(* Registration and by-name lookup are serialized: a farm worker creating
+   a late instrument must not race a concurrent lookup's Hashtbl
+   traversal. Updates to an already-held instrument stay lock-free — a
+   lost increment under contention is acceptable for telemetry, a torn
+   Hashtbl is not. *)
+let registry_mutex = Mutex.create ()
+
+let locked f =
+  Mutex.lock registry_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_mutex) f
+
 let bad_name name msg = invalid_arg (Printf.sprintf "Metrics.%s: %s" name msg)
 
 let register name help kind =
+  locked @@ fun () ->
   match Hashtbl.find_opt registry name with
   | Some i -> (
       (* Re-registration (module reloaded in tests, two sites agreeing on
@@ -96,6 +108,7 @@ let observe h v =
 let peek c = !c
 
 let reset () =
+  locked @@ fun () ->
   Hashtbl.iter
     (fun _ i ->
       match i.i_kind with
@@ -107,17 +120,17 @@ let reset () =
     registry
 
 let value name =
-  match Hashtbl.find_opt registry name with
+  match locked (fun () -> Hashtbl.find_opt registry name) with
   | Some { i_kind = Counter c; _ } | Some { i_kind = Gauge c; _ } -> Some !c
   | _ -> None
 
 let histogram_counts name =
-  match Hashtbl.find_opt registry name with
+  match locked (fun () -> Hashtbl.find_opt registry name) with
   | Some { i_kind = Histogram h; _ } ->
       Some (Array.to_list h.h_counts, h.h_sum, h.h_count)
   | _ -> None
 
-let registered () = List.rev !order
+let registered () = locked (fun () -> List.rev !order)
 
 (* ------------------------------------------------------------------ *)
 (* Exporters                                                           *)
@@ -138,7 +151,7 @@ let le_label b =
    depend on module-initialization order); otherwise registration order. *)
 let selected names =
   let wanted = match names with None -> registered () | Some ns -> ns in
-  List.filter_map (Hashtbl.find_opt registry) wanted
+  locked (fun () -> List.filter_map (Hashtbl.find_opt registry) wanted)
 
 let to_openmetrics ?names () =
   let buf = Buffer.create 512 in

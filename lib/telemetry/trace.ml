@@ -7,7 +7,14 @@
    explicit stack; completed spans are optionally buffered (for Chrome
    trace export) and always handed to the [on_close] hook, which is how
    Manifest streams one JSONL event per stage without any plumbing through
-   the compiler's APIs. *)
+   the compiler's APIs.
+
+   Domain safety (the compile farm runs pipelines on worker domains): span
+   ids and sequence numbers are atomics, the open-span stack is
+   domain-local state (each domain nests its own spans), and the completed
+   buffer plus the [on_close] hook are serialized by a mutex — so spans
+   traced on N worker domains merge into the one process-wide trace as
+   they close, each with its parent links intact within its own domain. *)
 
 type arg = F of float | S of string
 
@@ -27,9 +34,21 @@ type span = {
   mutable sp_seq_close : int;
 }
 
-let next_id = ref 0
-let next_seq = ref 0
-let stack : span list ref = ref []
+let next_id = Atomic.make 0
+let next_seq = Atomic.make 0
+
+(* Each domain nests its own spans: the open stack is domain-local, so a
+   pipeline running on a farm worker cannot corrupt another worker's
+   nesting. *)
+let stack_key : span list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let stack () = Domain.DLS.get stack_key
+
+(* The shared close-side state: the Chrome-trace buffer and the on_close
+   hook (the Manifest bridge). Serialized so spans closing on different
+   domains merge without tearing. *)
+let close_mutex = Mutex.create ()
 let completed : span list ref = ref []  (* reversed close order *)
 let keep = ref false
 let on_close : (span -> unit) ref = ref ignore
@@ -39,19 +58,24 @@ let set_on_close f = on_close := f
 let clear_on_close () = on_close := ignore
 
 let reset () =
-  next_id := 0;
-  next_seq := 0;
-  stack := [];
-  completed := []
+  Atomic.set next_id 0;
+  Atomic.set next_seq 0;
+  stack () := [];
+  Mutex.lock close_mutex;
+  completed := [];
+  Mutex.unlock close_mutex
 
 let seconds sp = (sp.sp_end_ns -. sp.sp_start_ns) /. 1e9
 
 let spans () =
-  List.sort (fun a b -> compare a.sp_seq b.sp_seq) !completed
+  Mutex.lock close_mutex;
+  let all = !completed in
+  Mutex.unlock close_mutex;
+  List.sort (fun a b -> compare a.sp_seq b.sp_seq) all
 
 let add_arg key v =
   if Runtime.on () then
-    match !stack with
+    match !(stack ()) with
     | [] -> ()
     | sp :: _ -> sp.sp_args <- (key, v) :: sp.sp_args
 
@@ -71,15 +95,14 @@ let with_span ?(cat = "span") ?(args = []) name f =
   if not (Runtime.on ()) then f ()
   else begin
     let g0 = Gc.quick_stat () in
+    let stack = stack () in
     let parent, depth =
       match !stack with
       | [] -> (-1, 0)
       | p :: _ -> (p.sp_id, p.sp_depth + 1)
     in
-    let id = !next_id in
-    incr next_id;
-    let seq = !next_seq in
-    incr next_seq;
+    let id = Atomic.fetch_and_add next_id 1 in
+    let seq = Atomic.fetch_and_add next_seq 1 in
     let sp =
       {
         sp_id = id;
@@ -104,8 +127,7 @@ let with_span ?(cat = "span") ?(args = []) name f =
       sp.sp_minor_words <- g1.Gc.minor_words -. g0.Gc.minor_words;
       sp.sp_major_words <- g1.Gc.major_words -. g0.Gc.major_words;
       sp.sp_heap_delta_words <- g1.Gc.heap_words - g0.Gc.heap_words;
-      sp.sp_seq_close <- !next_seq;
-      incr next_seq;
+      sp.sp_seq_close <- Atomic.fetch_and_add next_seq 1;
       (* Pop this span — and, defensively, anything an exception left
          above it. *)
       let rec pop = function
@@ -114,8 +136,13 @@ let with_span ?(cat = "span") ?(args = []) name f =
         | l -> l
       in
       stack := pop !stack;
+      (* Merge into the shared buffer and stream to the manifest under
+         one lock: concurrent closes on worker domains serialize here. *)
+      Mutex.lock close_mutex;
       if !keep then completed := sp :: !completed;
-      !on_close sp
+      let hook = !on_close in
+      Mutex.unlock close_mutex;
+      hook sp
     in
     match f () with
     | v ->
