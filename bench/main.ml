@@ -597,15 +597,24 @@ let stats () =
   Record.summary "systolic8_emit_s" dt_sys_emit
 
 (* ------------------------------------------------------------------ *)
-(* Simulator engines: dense fixpoint vs dirty-set scheduled            *)
+(* Simulator engines: fixpoint vs scheduled vs compiled                *)
 (* ------------------------------------------------------------------ *)
 
-(* Wall-clock comparison of the simulator's two evaluation engines on
-   identical designs. Cycle counts must match exactly (the differential
-   fuzz suite proves observational equivalence in depth; the check here
-   guards the benchmark itself). The "_s" and "_x" fields are wall-clock
-   derived and excluded from regression; the cycle counts and the
-   mismatch counter are deterministic and compared. *)
+(* Wall-clock comparison of the simulator's three evaluation engines on
+   identical designs. Cycle counts must match exactly across all three
+   (the differential fuzz suite proves observational equivalence in
+   depth; the check here guards the benchmark itself).
+
+   Each engine's run is phase-split the way Verilator reports are:
+   instantiation ([Sim.create] — for the compiled engine this is the AOT
+   specialization pass) is timed separately from simulation (stimulus
+   loading + clocked execution), and the speedup columns compare
+   simulation time. The compile cost is paid once per design and
+   amortizes over a testbench's many runs; reporting it in its own
+   column keeps the comparison honest rather than hiding it. The "_s"
+   and "_x" fields are wall-clock derived and excluded from regression;
+   the cycle counts and the mismatch counter are deterministic and
+   compared. *)
 let best_of_3 f =
   let b = ref infinity and res = ref None in
   for _ = 1 to 3 do
@@ -615,51 +624,86 @@ let best_of_3 f =
   done;
   (Option.get !res, !b)
 
+(* [f ()] must return [(result, create_seconds, simulate_seconds)]; keeps
+   the best of each phase independently across the three repetitions. *)
+let best_of_3_phased f =
+  let bc = ref infinity and bs = ref infinity and res = ref None in
+  for _ = 1 to 3 do
+    let r, c, s = f () in
+    if c < !bc then bc := c;
+    if s < !bs then bs := s;
+    res := Some r
+  done;
+  (Option.get !res, !bc, !bs)
+
 let engines () =
-  header "Simulator engines: dense fixpoint vs dirty-set scheduled";
-  Printf.printf "%-14s %10s %10s %10s %10s %9s %6s\n" "design" "fix-cyc"
-    "sched-cyc" "fix-s" "sched-s" "speedup" "match";
-  let speedups = ref [] and systolic8 = ref nan and mismatches = ref 0 in
-  let report name (fc, ft) (sc, st) =
+  header "Simulator engines: fixpoint vs scheduled vs compiled";
+  Printf.printf "%-14s %8s %8s %8s %8s %8s %8s %8s %7s %7s %6s\n" "design"
+    "fix-cyc" "sch-cyc" "cmp-cyc" "fix-s" "sch-s" "cmp-aot" "cmp-s" "sch-x"
+    "cmp-x" "match";
+  let speedups = ref []
+  and comp_speedups = ref []
+  and systolic8 = ref nan
+  and systolic8_comp = ref nan
+  and mismatches = ref 0 in
+  let report name (fc, fcr, ft) (sc, scr, st) (cc, ccr, ct) =
     let s = ft /. st in
-    if fc <> sc then incr mismatches;
-    if name = "systolic-8x8" then systolic8 := s;
+    let cx = st /. ct in
+    let equal = fc = sc && sc = cc in
+    if not equal then incr mismatches;
+    if name = "systolic-8x8" then begin
+      systolic8 := s;
+      systolic8_comp := cx
+    end;
     speedups := s :: !speedups;
-    Printf.printf "%-14s %10d %10d %10.4f %10.4f %8.2fx %6s\n" name fc sc ft
-      st s
-      (if fc = sc then "ok" else "FAIL");
+    comp_speedups := cx :: !comp_speedups;
+    Printf.printf
+      "%-14s %8d %8d %8d %8.4f %8.4f %8.4f %8.4f %6.2fx %6.2fx %6s\n" name fc
+      sc cc ft st ccr ct s cx
+      (if equal then "ok" else "FAIL");
     Record.row
       [
         ("design", Json.str name);
         ("fixpoint_cycles", Json.int fc);
         ("scheduled_cycles", Json.int sc);
-        ("cycles_equal", Json.bool (fc = sc));
+        ("compiled_cycles", Json.int cc);
+        ("cycles_equal", Json.bool equal);
+        ("fixpoint_compile_s", Json.float fcr);
+        ("scheduled_compile_s", Json.float scr);
+        ("compiled_compile_s", Json.float ccr);
         ("fixpoint_s", Json.float ft);
         ("scheduled_s", Json.float st);
+        ("compiled_s", Json.float ct);
         ("speedup_x", Json.float s);
+        ("compiled_over_scheduled_x", Json.float cx);
       ]
   in
   List.iter
     (fun n ->
       let ctx = systolic_ctx n Pipelines.insensitive_config in
       let run engine () =
-        let sim = Calyx_sim.Sim.create ~engine ctx in
-        for r = 0 to n - 1 do
-          Calyx_sim.Sim.write_memory_ints sim (Systolic.left_memory r)
-            ~width:32
-            (List.init n (fun k -> (((r * 3) + k) mod 9) + 1))
-        done;
-        for c = 0 to n - 1 do
-          Calyx_sim.Sim.write_memory_ints sim (Systolic.top_memory c)
-            ~width:32
-            (List.init n (fun k -> (((k * 5) + c) mod 7) + 1))
-        done;
-        Calyx_sim.Sim.run sim
+        let sim, create_s = time (fun () -> Calyx_sim.Sim.create ~engine ctx) in
+        let cycles, sim_s =
+          time (fun () ->
+              for r = 0 to n - 1 do
+                Calyx_sim.Sim.write_memory_ints sim (Systolic.left_memory r)
+                  ~width:32
+                  (List.init n (fun k -> (((r * 3) + k) mod 9) + 1))
+              done;
+              for c = 0 to n - 1 do
+                Calyx_sim.Sim.write_memory_ints sim (Systolic.top_memory c)
+                  ~width:32
+                  (List.init n (fun k -> (((k * 5) + c) mod 7) + 1))
+              done;
+              Calyx_sim.Sim.run sim)
+        in
+        (cycles, create_s, sim_s)
       in
       report
         (Printf.sprintf "systolic-%dx%d" n n)
-        (best_of_3 (run `Fixpoint))
-        (best_of_3 (run `Scheduled)))
+        (best_of_3_phased (run `Fixpoint))
+        (best_of_3_phased (run `Scheduled))
+        (best_of_3_phased (run `Compiled)))
     [ 4; 8 ];
   List.iter
     (fun name ->
@@ -667,19 +711,34 @@ let engines () =
       let prog = Polybench.Harness.program k ~unrolled:false in
       let lowered = Pipelines.compile (Dahlia.To_calyx.compile prog) in
       let run engine () =
-        let cycles, bad = Polybench.Harness.execute ~engine k prog lowered in
-        assert (bad = []);
-        cycles
+        let sim, create_s =
+          time (fun () -> Calyx_sim.Sim.create ~engine lowered)
+        in
+        let io = Calyx_sim.Testbench.of_sim sim in
+        let cycles, sim_s =
+          time (fun () ->
+              Polybench.Harness.load_inputs k prog io;
+              Calyx_sim.Sim.run sim)
+        in
+        assert (Polybench.Harness.verify k prog io = []);
+        (cycles, create_s, sim_s)
       in
-      report name (best_of_3 (run `Fixpoint)) (best_of_3 (run `Scheduled)))
+      report name
+        (best_of_3_phased (run `Fixpoint))
+        (best_of_3_phased (run `Scheduled))
+        (best_of_3_phased (run `Compiled)))
     [ "gemm"; "gemver"; "atax" ];
   Printf.printf
-    "geomean speedup %.2fx, systolic-8x8 %.2fx (target: >= 2x), %d cycle \
+    "geomean sched/fix %.2fx, systolic-8x8 %.2fx (target: >= 2x); geomean \
+     comp/sched %.2fx, systolic-8x8 %.2fx (target: >= 3x); %d cycle \
      mismatches\n"
-    (geomean !speedups) !systolic8 !mismatches;
+    (geomean !speedups) !systolic8 (geomean !comp_speedups) !systolic8_comp
+    !mismatches;
   Record.summary "cycle_mismatches" (float_of_int !mismatches);
   Record.summary "geomean_speedup_x" (geomean !speedups);
-  Record.summary "systolic8_speedup_x" !systolic8
+  Record.summary "systolic8_speedup_x" !systolic8;
+  Record.summary "geomean_compiled_speedup_x" (geomean !comp_speedups);
+  Record.summary "systolic8_compiled_speedup_x" !systolic8_comp
 
 (* ------------------------------------------------------------------ *)
 (* Telemetry: the zero-cost-when-disabled claim                        *)
@@ -774,7 +833,11 @@ let telemetry_bench () =
             ("overhead_x", Json.float (on_s /. off_s));
             ("est_disabled_overhead_x", Json.float est);
           ])
-      [ (`Fixpoint, "fixpoint"); (`Scheduled, "scheduled") ]
+      [
+        (`Fixpoint, "fixpoint");
+        (`Scheduled, "scheduled");
+        (`Compiled, "compiled");
+      ]
   in
   List.iter
     (fun n ->

@@ -69,9 +69,16 @@ let file_arg =
 let engine_term =
   Arg.(
     value
-    & opt (enum [ ("fixpoint", `Fixpoint); ("scheduled", `Scheduled) ]) `Fixpoint
+    & opt
+        (enum
+           [
+             ("fixpoint", `Fixpoint);
+             ("scheduled", `Scheduled);
+             ("compiled", `Compiled);
+           ])
+        `Fixpoint
     & info [ "engine" ] ~docv:"ENGINE"
-        ~doc:"Simulation evaluation engine: $(b,fixpoint) (the reference dense iteration) or $(b,scheduled) (levelized dirty-set evaluation; observably identical, faster on large designs).")
+        ~doc:"Simulation evaluation engine: $(b,fixpoint) (the reference dense iteration), $(b,scheduled) (levelized dirty-set evaluation; observably identical, faster on large designs), or $(b,compiled) (ahead-of-time specialized closures over the levelized graph; observably identical, fastest).")
 
 let mems_term =
   Arg.(
@@ -1059,6 +1066,194 @@ let validate_cmd =
           $ config_term $ engine_term $ max_cycles $ cex_dir $ farm_jobs
           $ cache_dir $ telemetry_term)
 
+(* Tri-engine differential fuzzing: every generated program runs under
+   the fixpoint, scheduled and compiled engines (both as generated and
+   through the full pipeline) and the engines must agree on cycle count,
+   final registers, final memories, the ordered control-event stream —
+   and on the error paths: a Conflict/Unstable/Timeout must be raised by
+   all three at the same cycle with the same message. Disagreements are
+   shrunk to minimal counterexample programs, like validate --fuzz. *)
+let fuzz_cmd =
+  let comment s =
+    String.concat "\n"
+      (List.map (fun l -> "// " ^ l) (String.split_on_char '\n' s))
+  in
+  let ensure_dir d = if not (Sys.file_exists d) then Sys.mkdir d 0o755 in
+  let engines =
+    [ ("fixpoint", `Fixpoint); ("scheduled", `Scheduled); ("compiled", `Compiled) ]
+  in
+  (* One engine's observation of one program: everything the equivalence
+     contract covers, or the error it raised. *)
+  let observe engine ctx regs mems =
+    match
+      let sim = Calyx_sim.Sim.create ~engine ctx in
+      let events = ref [] in
+      Calyx_sim.Sim.set_ctrl_sink sim (Some (fun e -> events := e :: !events));
+      let cycles = Calyx_sim.Sim.run ~max_cycles:400_000 sim in
+      ( cycles,
+        List.map
+          (fun r ->
+            Calyx.Bitvec.to_int64 (Calyx_sim.Sim.read_register sim r))
+          regs,
+        List.map (fun m -> Calyx_sim.Sim.read_memory_ints sim m) mems,
+        List.rev !events )
+    with
+    | obs -> Ok obs
+    | exception Calyx_sim.Sim.Conflict { cycle; message; _ } ->
+        Error (Printf.sprintf "conflict at cycle %d: %s" cycle message)
+    | exception Calyx_sim.Sim.Unstable { cycle; message; _ } ->
+        Error (Printf.sprintf "unstable at cycle %d: %s" cycle message)
+    | exception Calyx_sim.Sim.Timeout { budget; _ } ->
+        Error (Printf.sprintf "timeout after %d cycles" budget)
+    | exception e -> Error (Printexc.to_string e)
+  in
+  let state_cells ctx =
+    List.fold_left
+      (fun (regs, mems) c ->
+        match c.Calyx.Ir.cell_proto with
+        | Calyx.Ir.Prim ("std_reg", _) ->
+            (c.Calyx.Ir.cell_name :: regs, mems)
+        | Calyx.Ir.Prim (p, _)
+          when String.length p >= 7 && String.sub p 0 7 = "std_mem" ->
+            (regs, c.Calyx.Ir.cell_name :: mems)
+        | _ -> (regs, mems))
+      ([], [])
+      (Calyx.Ir.entry ctx).Calyx.Ir.cells
+  in
+  (* First pairwise disagreement on one program, or None. *)
+  let disagreement ctx =
+    let regs, mems = state_cells ctx in
+    let runs = List.map (fun (n, e) -> (n, observe e ctx regs mems)) engines in
+    let diff (an, a) (bn, b) =
+      let where =
+        match (a, b) with
+        | Ok (ac, _, _, _), Ok (bc, _, _, _) when ac <> bc ->
+            Some (Printf.sprintf "cycles %d vs %d" ac bc)
+        | Ok (_, ar, _, _), Ok (_, br, _, _) when ar <> br ->
+            Some "final registers differ"
+        | Ok (_, _, am, _), Ok (_, _, bm, _) when am <> bm ->
+            Some "final memories differ"
+        | Ok (_, _, _, ae), Ok (_, _, _, be) when ae <> be ->
+            Some
+              (Printf.sprintf "ctrl events differ (%d vs %d)"
+                 (List.length ae) (List.length be))
+        | Ok _, Ok _ -> None
+        | Error ea, Error eb when ea = eb -> None
+        | Error ea, Error eb ->
+            Some (Printf.sprintf "errors differ: %S vs %S" ea eb)
+        | Ok _, Error eb -> Some (Printf.sprintf "ok vs error %S" eb)
+        | Error ea, Ok _ -> Some (Printf.sprintf "error %S vs ok" ea)
+      in
+      Option.map (fun w -> Printf.sprintf "%s vs %s: %s" an bn w) where
+    in
+    let rec pairs = function
+      | [] -> None
+      | a :: rest -> (
+          match List.find_map (diff a) rest with
+          | Some d -> Some d
+          | None -> pairs rest)
+    in
+    pairs runs
+  in
+  let run count seed config cex_dir jobs tele =
+    with_telemetry tele @@ fun () ->
+    (* A spec fails if the engines disagree on the generated program or
+       on its fully compiled form. *)
+    let fails spec =
+      match
+        let ctx = Calyx.Fuzz_gen.build spec in
+        match disagreement ctx with
+        | Some d -> Some ("source: " ^ d)
+        | None ->
+            Option.map
+              (fun d -> "lowered: " ^ d)
+              (disagreement (Calyx.Pipelines.compile ~config ctx))
+      with
+      | d -> d
+      | exception e -> Some (Printexc.to_string e)
+    in
+    let rec minimize (spec, descr) =
+      match
+        List.find_map
+          (fun c -> Option.map (fun d -> (c, d)) (fails c))
+          (Calyx.Fuzz_gen.shrink spec)
+      with
+      | Some smaller -> minimize smaller
+      | None -> (spec, descr)
+    in
+    let failures = ref 0 in
+    let seeds = List.init count (fun i -> seed + i) in
+    (* The initial sweep shards across domains; shrinking is a sequential
+       search and stays on the calling domain. *)
+    let outcomes =
+      Calyx_sim.Compiled.run_batch ?jobs
+        (List.map
+           (fun s () -> fails (Calyx.Fuzz_gen.spec_of_seed s))
+           seeds)
+    in
+    List.iter2
+      (fun s outcome ->
+        match outcome with
+        | None -> ()
+        | Some descr ->
+            incr failures;
+            let spec, descr =
+              minimize (Calyx.Fuzz_gen.spec_of_seed s, descr)
+            in
+            ensure_dir cex_dir;
+            let path =
+              Filename.concat cex_dir (Printf.sprintf "fuzz_%d.futil" s)
+            in
+            write_file path
+              (Printf.sprintf "// seed: %d\n// spec: %s\n%s\n%s" s
+                 (Calyx.Fuzz_gen.to_string spec)
+                 (comment ("tri-engine disagreement: " ^ descr))
+                 (Calyx.Printer.to_string (Calyx.Fuzz_gen.build spec)));
+            Format.printf
+              "fuzz seed %d             DISAGREES: %s@.  minimized \
+               counterexample (%d nodes): %s@.  written to %s@."
+              s descr
+              (Calyx.Fuzz_gen.size spec)
+              (Calyx.Fuzz_gen.to_string spec)
+              path)
+      seeds outcomes;
+    Format.printf
+      "fuzz: %d program(s) from seed %d under %d engines (source and \
+       lowered): %d disagreement(s)@."
+      count seed (List.length engines) !failures;
+    if !failures > 0 then 1 else 0
+  in
+  let count =
+    Arg.(
+      value & opt int 250
+      & info [ "count"; "n" ] ~docv:"N"
+          ~doc:"Number of randomly generated programs.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 2026
+      & info [ "seed" ] ~docv:"S"
+          ~doc:"Base seed (program $(i,i) uses seed S+i).")
+  in
+  let cex_dir =
+    Arg.(
+      value & opt string "counterexamples"
+      & info [ "counterexamples" ] ~docv:"DIR"
+          ~doc:"Directory for minimized disagreeing programs.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:"Worker domains for the initial sweep (default: the machine's recommended domain count).")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Tri-engine differential fuzzing: run randomly generated programs under the fixpoint, scheduled and compiled simulation engines (as generated and through the full pipeline) and require pairwise agreement on cycle counts, final registers and memories, ordered control events, and error behaviour. Disagreements are shrunk to minimal counterexample programs.")
+    Term.(const run $ count $ seed $ config_term $ cex_dir $ jobs
+          $ telemetry_term)
+
 let farm_cmd =
   let int_or_bad what s =
     match int_of_string_opt s with
@@ -1498,5 +1693,5 @@ let () =
           [
             check_cmd; compile_cmd; interp_cmd; sim_cmd; profile_cmd;
             cover_cmd; dahlia_cmd; systolic_cmd; polybench_cmd; farm_cmd;
-            validate_cmd; stats_cmd; timing_cmd; report_cmd;
+            validate_cmd; fuzz_cmd; stats_cmd; timing_cmd; report_cmd;
           ]))

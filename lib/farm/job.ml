@@ -40,7 +40,10 @@ let label t =
   | Fuzz { seed } -> Printf.sprintf "fuzz-%d" seed
 
 let engine_name t =
-  match t.engine with `Fixpoint -> "fixpoint" | `Scheduled -> "scheduled"
+  match t.engine with
+  | `Fixpoint -> "fixpoint"
+  | `Scheduled -> "scheduled"
+  | `Compiled -> "compiled"
 
 let systolic_width = 32
 

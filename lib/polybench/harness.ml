@@ -25,6 +25,7 @@ let stamp_run (k : Kernels.kernel) ~unrolled ~config ~engine =
       ~engine:
         (match engine with
         | Some `Scheduled -> "scheduled"
+        | Some `Compiled -> "compiled"
         | Some `Fixpoint | None -> "fixpoint")
       ()
   end

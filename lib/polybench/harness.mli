@@ -32,6 +32,15 @@ val execute :
     completion, verify outputs. Returns the cycle count and the names of
     mismatching output memories. Lets benches time simulation alone. *)
 
+val load_inputs : Kernels.kernel -> Dahlia.Ast.prog -> Calyx_sim.Testbench.io -> unit
+(** Load the kernel's deterministic inputs through the bank-aware loader.
+    Exposed (with {!verify}) so benches can phase-split {!execute}: time
+    instantiation and simulation separately, verify untimed. *)
+
+val verify : Kernels.kernel -> Dahlia.Ast.prog -> Calyx_sim.Testbench.io -> string list
+(** Check every output memory against the golden reference; returns the
+    names of those that differ. *)
+
 val run :
   ?config:Calyx.Pipelines.config ->
   ?engine:Calyx_sim.Sim.engine ->

@@ -1,0 +1,44 @@
+(* Work distribution for the farm: an atomic claim index over the input
+   array. Jobs are whole compile→sim→validate pipelines (milliseconds to
+   seconds each), so claim overhead is irrelevant and a deque buys
+   nothing; what matters is that results land at their input index, so
+   the output order — and therefore every downstream rendering — is
+   independent of scheduling. *)
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let map ~jobs f items =
+  match items with
+  | [] -> []
+  | _ when jobs <= 1 -> List.map f items
+  | _ ->
+      let inputs = Array.of_list items in
+      let n = Array.length inputs in
+      let results = Array.make n None in
+      let next = Atomic.make 0 in
+      let failure = Atomic.make None in
+      let worker () =
+        let continue = ref true in
+        while !continue do
+          let i = Atomic.fetch_and_add next 1 in
+          if i >= n || Atomic.get failure <> None then continue := false
+          else
+            match f inputs.(i) with
+            | v -> results.(i) <- Some v
+            | exception e ->
+                let bt = Printexc.get_raw_backtrace () in
+                ignore
+                  (Atomic.compare_and_set failure None (Some (e, bt)))
+        done
+      in
+      let domains =
+        List.init (min jobs n - 1) (fun _ -> Domain.spawn worker)
+      in
+      (* The calling domain is the last worker: [--jobs N] means N
+         domains computing, not N+1. *)
+      worker ();
+      List.iter Domain.join domains;
+      (match Atomic.get failure with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ());
+      Array.to_list (Array.map Option.get results)

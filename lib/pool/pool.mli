@@ -1,9 +1,5 @@
 (** A worker pool over OCaml 5 domains: the farm's scheduler.
 
-    Re-exported from {!Calyx_pool.Pool} (lib/pool), where the
-    implementation lives so lower layers — e.g. the compiled simulator
-    engine's batch runner — can use it without depending on the farm.
-
     One shared queue (an atomic next-index over the input array — the
     simplest correct work distribution for jobs this coarse), [jobs]
     workers including the calling domain, results returned in input

@@ -291,6 +291,184 @@ let comb_inputs = function
   | Pipe _ -> Some []
   | Custom _ -> None
 
+(* Staged evaluation for the compiled engine: every port name is
+   resolved to a slot thunk/writer ONCE, at closure-build time, so the
+   per-settle hot path does no string lookups and allocates nothing
+   beyond the result bitvecs. Semantics mirror [outputs] and [commit]
+   exactly — the tri-engine differential fuzz depends on it. *)
+
+let staged_mem_address m ~read =
+  let dims = Array.of_list m.m_dims in
+  let thunks =
+    Array.of_list
+      (List.mapi (fun i _ -> read (Printf.sprintf "addr%d" i)) m.m_dims)
+  in
+  let n = Array.length dims in
+  fun () ->
+    let rec go i addr =
+      if i = n then Some addr
+      else
+        let v = Bitvec.to_int (thunks.(i) ()) in
+        if v >= dims.(i) then None else go (i + 1) ((addr * dims.(i)) + v)
+    in
+    go 0 0
+
+let compile_step t ~read ~write =
+  let w name = match write name with Some f -> f | None -> fun _ -> () in
+  let t1 = Bitvec.one 1 and f1 = Bitvec.zero 1 in
+  match t with
+  | Comb (Const v) ->
+      let out = w "out" in
+      fun () -> out v
+  | Comb Wire ->
+      let out = w "out" and vin = read "in" in
+      fun () -> out (vin ())
+  | Comb (Slice ow) ->
+      let out = w "out" and vin = read "in" in
+      fun () -> out (Bitvec.truncate (vin ()) ow)
+  | Comb (Pad ow) ->
+      let out = w "out" and vin = read "in" in
+      fun () -> out (Bitvec.zero_extend (vin ()) ow)
+  | Comb (Binop f) ->
+      let out = w "out" and l = read "left" and r = read "right" in
+      fun () -> out (f (l ()) (r ()))
+  | Comb (Unop f) ->
+      let out = w "out" and vin = read "in" in
+      fun () -> out (f (vin ()))
+  | Reg r ->
+      let out = w "out" and dn = w "done" in
+      fun () ->
+        out r.r_value;
+        dn (if r.r_done then t1 else f1)
+  | Mem m ->
+      let rd = w "read_data" and dn = w "done" in
+      let zero = Bitvec.zero m.m_width in
+      let addr = staged_mem_address m ~read in
+      fun () ->
+        (match addr () with
+        | Some a -> rd m.m_data.(a)
+        | None -> rd zero);
+        dn (if m.m_done then t1 else f1)
+  | Pipe p -> (
+      let dn = w "done" in
+      let zero = Bitvec.zero p.p_width in
+      match p.p_op with
+      | Mult | Sqrt ->
+          let out = w "out" in
+          fun () ->
+            (match p.p_results with
+            | (_, v) :: _ -> out v
+            | [] -> out zero);
+            dn (if p.p_done then t1 else f1)
+      | Div ->
+          let q = w "out_quotient" and r = w "out_remainder" in
+          fun () ->
+            (match p.p_results with
+            | [ (_, qv); (_, rv) ] ->
+                q qv;
+                r rv
+            | _ ->
+                q zero;
+                r zero);
+            dn (if p.p_done then t1 else f1))
+  | Custom c ->
+      (* Custom models read and write by name at runtime; stage lazily so
+         their behaviour (including errors on unknown ports) is
+         unchanged. *)
+      fun () ->
+        let rd name = (read name) () in
+        List.iter (fun (pname, v) -> (w pname) v) (c.c_outputs rd)
+
+let compile_commit t ~read =
+  match t with
+  | Comb _ -> fun () -> false
+  | Custom c ->
+      fun () ->
+        c.c_commit (fun name -> (read name) ());
+        true
+  | Reg r ->
+      let we = read "write_en" and vin = read "in" in
+      fun () ->
+        if Bitvec.is_true (we ()) then begin
+          let v = vin () in
+          let changed = (not r.r_done) || not (Bitvec.equal r.r_value v) in
+          r.r_value <- v;
+          r.r_done <- true;
+          changed
+        end
+        else begin
+          let changed = r.r_done in
+          r.r_done <- false;
+          changed
+        end
+  | Mem m ->
+      let we = read "write_en" and wd = read "write_data" in
+      let addr = staged_mem_address m ~read in
+      fun () ->
+        if Bitvec.is_true (we ()) then begin
+          (match addr () with
+          | Some a -> m.m_data.(a) <- wd ()
+          | None -> ());
+          m.m_done <- true;
+          true
+        end
+        else begin
+          let changed = m.m_done in
+          m.m_done <- false;
+          changed
+        end
+  | Pipe p ->
+      let go = read "go" in
+      let compute, target =
+        match p.p_op with
+        | Mult ->
+            let l = read "left" and r = read "right" in
+            ( (fun () -> [ ("out", Bitvec.mul (l ()) (r ())) ]),
+              fun () -> Option.get p.p_fixed_latency )
+        | Div ->
+            let l = read "left" and r = read "right" in
+            ( (fun () ->
+                let lv = l () and rv = r () in
+                [
+                  ("out_quotient", Bitvec.div lv rv);
+                  ("out_remainder", Bitvec.rem lv rv);
+                ]),
+              fun () -> Option.get p.p_fixed_latency )
+        | Sqrt ->
+            let i = read "in" in
+            ( (fun () ->
+                [
+                  ( "out",
+                    Bitvec.make ~width:p.p_width
+                      (isqrt (Bitvec.to_int64 (i ()))) );
+                ]),
+              fun () ->
+                match p.p_fixed_latency with
+                | Some l -> l
+                | None -> sqrt_cycles (Bitvec.to_int64 (i ())) )
+      in
+      fun () ->
+        let was_done = p.p_done and was_results = p.p_results in
+        (if not (Bitvec.is_true (go ())) then begin
+           p.p_counter <- 0;
+           p.p_done <- false
+         end
+         else if p.p_done then begin
+           (* go held through the done cycle: restart. *)
+           p.p_done <- false;
+           p.p_counter <- 0
+         end
+         else begin
+           if p.p_counter = 0 then p.p_target <- target ();
+           p.p_counter <- p.p_counter + 1;
+           if p.p_counter >= p.p_target then begin
+             p.p_results <- compute ();
+             p.p_done <- true;
+             p.p_counter <- 0
+           end
+         end);
+        p.p_done <> was_done || p.p_results != was_results
+
 let reset = function
   | Custom c -> c.c_reset ()
   | Comb _ -> ()

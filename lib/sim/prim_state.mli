@@ -29,6 +29,23 @@ val commit : t -> read:(string -> Bitvec.t) -> bool
     [true] may be a false positive, [false] never is) — the scheduled
     engine's commit-time invalidation hook. *)
 
+val compile_step :
+  t ->
+  read:(string -> unit -> Bitvec.t) ->
+  write:(string -> (Bitvec.t -> unit) option) ->
+  unit ->
+  unit
+(** Staged {!outputs} for the compiled engine: [read]/[write] resolve a
+    port name to a slot thunk/writer once at build time, and the
+    returned closure evaluates the primitive's outputs with no string
+    lookups or list allocation per call. [write] answering [None] drops
+    that output. Behaviourally identical to {!outputs}. *)
+
+val compile_commit : t -> read:(string -> unit -> Bitvec.t) -> unit -> bool
+(** Staged {!commit}: same clock-edge semantics and the same change report,
+    names resolved at build time. The compiled engine uses the report for
+    the same commit-time invalidation as the scheduled one. *)
+
 val comb_inputs : t -> string list option
 (** Input ports that an output of this primitive can depend on within the
     same cycle ([None] = assume all of them). Registered primitives report

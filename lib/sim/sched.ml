@@ -43,6 +43,7 @@ type t = {
   cyclic_at : int array array;  (* level -> cyclic component ids *)
   dirty : bool array;
   pending : int array;  (* level -> dirty node count *)
+  mutable npending : int;  (* total dirty nodes, for early exit *)
 }
 
 exception Diverged
@@ -191,11 +192,13 @@ let build ~slots ~(nodes : (int list * int list) array) =
     cyclic_at;
     dirty = Array.make (max n 1) false;
     pending = Array.make nlevels 0;
+    npending = 0;
   }
 
 let mark_node t k =
   if not t.dirty.(k) then begin
     t.dirty.(k) <- true;
+    t.npending <- t.npending + 1;
     let l = t.level.(k) in
     t.pending.(l) <- t.pending.(l) + 1;
     if t.cyclic.(k) then vec_push t.scc_bucket.(t.scc.(k)) k
@@ -211,7 +214,14 @@ let mark_all t =
 
 let run t ~eval ~max_passes =
   let evals = ref 0 in
-  for l = 0 to t.nlevels - 1 do
+  (* Dirt only propagates to higher levels, so once the global pending
+     count hits zero no later bucket can be non-empty. *)
+  let l = ref (-1) in
+  while
+    incr l;
+    !l < t.nlevels && t.npending > 0
+  do
+    let l = !l in
     if t.pending.(l) > 0 then begin
       (* Acyclic nodes at one level are mutually independent: evaluating
          one can only dirty strictly higher levels, so a single sweep
@@ -222,6 +232,7 @@ let run t ~eval ~max_passes =
         if t.dirty.(k) then begin
           t.dirty.(k) <- false;
           t.pending.(l) <- t.pending.(l) - 1;
+          t.npending <- t.npending - 1;
           incr evals;
           eval k
         end
@@ -240,6 +251,7 @@ let run t ~eval ~max_passes =
             if t.dirty.(k) then begin
               t.dirty.(k) <- false;
               t.pending.(l) <- t.pending.(l) - 1;
+              t.npending <- t.npending - 1;
               incr steps;
               if !steps > budget then raise Diverged;
               incr evals;
@@ -254,3 +266,4 @@ let run t ~eval ~max_passes =
 let node_count t = t.n
 let level t k = t.level.(k)
 let cyclic t k = t.cyclic.(k)
+let scc t k = t.scc.(k)

@@ -52,3 +52,11 @@ val level : t -> int -> int
 val cyclic : t -> int -> bool
 (** Whether the node belongs to a genuinely cyclic component (the worklist
     remainder) rather than the levelized DAG. *)
+
+val scc : t -> int -> int
+(** The id of the strongly connected component the node belongs to. Ids
+    are assigned in reverse topological order (every edge of the
+    condensation goes to a strictly smaller id), so two nodes are
+    mutually dependent iff their ids are equal. Used by the compiled
+    engine to group the members of each cyclic component into one
+    iterated step of its level plan. *)

@@ -175,20 +175,22 @@ let rec cadvance ~emit st ~group_done ~port_true =
         CDone
       end
       else st
+  (* Wrapper nodes are rebuilt only when a child actually moved:
+     preserving physical identity across quiet edges is what lets
+     [refresh_entries] skip recomputing the active-group view. *)
   | CSeq (id, s, rest) -> (
       match cadvance ~emit s ~group_done ~port_true with
       | CDone -> seq_next ~emit id rest
-      | s' -> CSeq (id, s', rest))
+      | s' -> if s' == s then st else CSeq (id, s', rest))
   | CPar (id, ss) -> (
-      match
-        List.filter
-          (fun s -> s <> CDone)
-          (List.map (fun s -> cadvance ~emit s ~group_done ~port_true) ss)
-      with
-      | [] ->
-          emit Ctrl_exit id;
-          CDone
-      | ss' -> CPar (id, ss'))
+      let ss' = List.map (fun s -> cadvance ~emit s ~group_done ~port_true) ss in
+      if List.for_all2 (fun a b -> a == b) ss ss' then st
+      else
+        match List.filter (fun s -> s <> CDone) ss' with
+        | [] ->
+            emit Ctrl_exit id;
+            CDone
+        | ss' -> CPar (id, ss'))
   | CIfCond (id, cond, port, t, f) ->
       let resolved = match cond with None -> true | Some g -> group_done g in
       if not resolved then st
@@ -206,7 +208,7 @@ let rec cadvance ~emit st ~group_done ~port_true =
       | CDone ->
           emit Ctrl_exit id;
           CDone
-      | s' -> CIfBody (id, s'))
+      | s' -> if s' == s then st else CIfBody (id, s'))
   | CWhileCond (id, cond, port, body) ->
       let resolved = match cond with None -> true | Some g -> group_done g in
       if not resolved then st
@@ -225,20 +227,23 @@ let rec cadvance ~emit st ~group_done ~port_true =
   | CWhileBody (id, s, cond, port, body) -> (
       match cadvance ~emit s ~group_done ~port_true with
       | CDone -> CWhileCond (id, cond, port, body)
-      | s' -> CWhileBody (id, s', cond, port, body))
+      | s' -> if s' == s then st else CWhileBody (id, s', cond, port, body))
 
 (* ------------------------------------------------------------------ *)
 (* Compiled per-instance representation                                *)
 (* ------------------------------------------------------------------ *)
 
-type engine = [ `Fixpoint | `Scheduled ]
+type engine = [ `Fixpoint | `Scheduled | `Compiled ]
 
 type compiled_assign = {
   ca_dst : int;
   ca_guard : Bitvec.t array -> bool;
   ca_src : Bitvec.t array -> Bitvec.t;
   ca_reads : int list;  (* slots the guard and source read *)
-  ca_text : string;  (* for conflict diagnostics *)
+  ca_text : string Lazy.t;
+      (* for conflict diagnostics and plan labels — lazy, since pretty-
+         printing thousands of assignments would dominate [create] *)
+  ca_ast : assignment;  (* for the compiled engine's partial evaluation *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -287,6 +292,14 @@ type sstate = {
   s_group_nodes : int array array;
       (* group index -> its go node and assignment nodes, re-marked
          whenever the group's active-entry list changes *)
+  mutable s_entry_valid : bool;
+      (* the fields below describe the lifecycle state the entry view was
+         last computed from; [cadvance] preserves physical identity across
+         quiet edges, so [s_entry_ctrl == i_ctrl] (plus equal running/go
+         flags) proves the view is still current *)
+  mutable s_entry_ctrl : cstate;
+  mutable s_entry_running : bool;
+  mutable s_entry_go : bool;
 }
 
 type prim_inst = {
@@ -294,6 +307,24 @@ type prim_inst = {
   pi_state : Prim_state.t;
   pi_inputs : (string * int) list;  (* input port name -> slot *)
   pi_outputs : (string * int) list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Compiled-engine state (AOT specialization of the slot graph)        *)
+(* ------------------------------------------------------------------ *)
+
+type cexec = {
+  x_sched : sstate;
+      (* the compiled engine runs the same dirty-set schedule as the
+         scheduled one — only the per-node eval is specialized *)
+  x_eval : int -> unit;  (* node id -> its specialized closure *)
+  x_commits : (unit -> bool) array;
+      (* staged prim clock edges; [true] = outputs may differ next cycle *)
+  x_inputs : (Bitvec.t -> unit) array;
+      (* per input port, indexed like i_input_slots *)
+  x_plan : string Lazy.t;
+      (* rendered level plan (golden snapshots) — lazy: rendering walks
+         and prints every node, and only tests and [compiled_plan] ask *)
 }
 
 type instance = {
@@ -311,6 +342,7 @@ type instance = {
   i_group_go : (string, int) Hashtbl.t;  (* group -> slot of its go hole *)
   i_group_done : (string, int) Hashtbl.t;
   i_input_slots : (string * int) list;  (* This input ports *)
+  i_go_slot : int;  (* slot of the [go] input (read on every settle) *)
   i_output_slots : (string * int) list;
   i_port_ids : (port_ref, int) Hashtbl.t;
   i_structured : bool;  (* control program is non-empty *)
@@ -329,8 +361,9 @@ type instance = {
   mutable i_gen : int;
   i_drv_gen : int array;
   i_drv_val : Bitvec.t array;
-  i_drv_text : string array;
+  i_drv_text : string Lazy.t array;
   mutable i_sched : sstate option;  (* Some iff built with `Scheduled *)
+  mutable i_compiled : cexec option;  (* Some iff built with `Compiled *)
 }
 
 and child = {
@@ -343,6 +376,121 @@ and child = {
       (* fixpoint engine: c_buf holds the inputs of the last child eval,
          so an unchanged-input iteration skips re-evaluating the child *)
 }
+
+let prim_reader env (pi : prim_inst) name =
+  match List.assoc_opt name pi.pi_inputs with
+  | Some slot -> env.(slot)
+  | None ->
+      (* Reading an output during commit (never happens) or a missing port. *)
+      raise (Prim_state.Sim_error ("unknown primitive input " ^ name))
+
+let go_slot inst = inst.i_go_slot
+
+(* Groups active in the current cycle, given the lifecycle state. If the
+   instance is idle but go is high, control starts this very cycle. *)
+let effective_ctrl inst ~go =
+  if not inst.i_structured then CDone
+  else if inst.i_running then inst.i_ctrl
+  else if go then cstart ~emit:no_emit inst.i_ictrl
+  else CDone
+
+let active_groups inst ~go = cactive [] (effective_ctrl inst ~go)
+
+(* Conflict detection at the settled point: two active assignments driving
+   the same port with different values is undefined behaviour. Shared by
+   all three engines so the diagnostics are bit-identical. The driver
+   table is a generation-stamped per-instance scratch array — bumping
+   [i_gen] clears it in O(1). *)
+let check_conflicts inst =
+  let env = inst.i_env in
+  inst.i_gen <- inst.i_gen + 1;
+  let gen = inst.i_gen in
+  let check ca =
+    if ca.ca_guard env then begin
+      let v = ca.ca_src env in
+      let dst = ca.ca_dst in
+      if inst.i_drv_gen.(dst) = gen then begin
+        if not (Bitvec.equal v inst.i_drv_val.(dst)) then
+          raise
+            (Conflict_msg
+               (Printf.sprintf
+                  "component %s: conflicting drivers in the same cycle:\n  %s\n  %s"
+                  inst.i_comp.comp_name
+                  (Lazy.force inst.i_drv_text.(dst))
+                  (Lazy.force ca.ca_text)))
+      end
+      else begin
+        inst.i_drv_gen.(dst) <- gen;
+        inst.i_drv_val.(dst) <- v;
+        inst.i_drv_text.(dst) <- ca.ca_text
+      end
+    end
+  in
+  let go = Bitvec.is_true env.(go_slot inst) in
+  Array.iter check inst.i_continuous;
+  List.iter
+    (fun (g, gated) ->
+      let dones, datas = Hashtbl.find inst.i_group_assigns g in
+      Array.iter check dones;
+      let live =
+        (not gated)
+        || not (Bitvec.is_true env.(Hashtbl.find inst.i_group_done g))
+      in
+      if live then Array.iter check datas)
+    (active_groups inst ~go)
+
+(* Conflicts need >= 2 simultaneously-live writers on one slot, so a
+   per-slot live count (maintained only for statically multi-written
+   slots) tells us when the exact — and comparatively expensive — settled
+   check can be skipped. Shared by the scheduled engine's interpreter and
+   the compiled engine's specialized closures. *)
+let live_transition st sa becoming =
+  let dst = sa.sa_ca.ca_dst in
+  if Array.length st.s_writers.(dst) > 1 then begin
+    let c =
+      if becoming then st.s_live_count.(dst) + 1
+      else st.s_live_count.(dst) - 1
+    in
+    st.s_live_count.(dst) <- c;
+    if becoming && c = 2 then st.s_suspects <- st.s_suspects + 1
+    else if (not becoming) && c = 1 then st.s_suspects <- st.s_suspects - 1
+  end
+
+(* Recompute which groups the control schedules this cycle and diff
+   against the last settle's view; a changed group has its go node and all
+   its assignment nodes re-marked. Cheap (one walk of the control state),
+   so it runs unconditionally at the top of every settle — under both the
+   scheduled and the compiled engine. *)
+let refresh_entries inst st =
+  let go = Bitvec.is_true inst.i_env.(go_slot inst) in
+  (* The active-group view is a pure function of (running, ctrl, go), and
+     control only moves at clock edges — on the quiet settles in between
+     this degenerates to three compares. *)
+  if
+    st.s_entry_valid && st.s_entry_ctrl == inst.i_ctrl
+    && st.s_entry_running = inst.i_running
+    && st.s_entry_go = go
+  then ()
+  else begin
+    st.s_entry_valid <- true;
+    st.s_entry_ctrl <- inst.i_ctrl;
+    st.s_entry_running <- inst.i_running;
+    st.s_entry_go <- go;
+    let ngroups = Array.length inst.i_groups in
+    let fresh = Array.make (max ngroups 1) [] in
+    List.iter
+      (fun (g, gated) ->
+        let gi = Hashtbl.find st.s_group_idx g in
+        fresh.(gi) <- gated :: fresh.(gi))
+      (active_groups inst ~go);
+    for gi = 0 to ngroups - 1 do
+      let ne = Array.of_list (List.rev fresh.(gi)) in
+      if ne <> st.s_entries.(gi) then begin
+        st.s_entries.(gi) <- ne;
+        Array.iter (Sched.mark_node st.s_graph) st.s_group_nodes.(gi)
+      end
+    done
+  end
 
 let rec build ?(externs : (string * (unit -> Prim_state.t)) list = [])
     ?(engine : engine = `Fixpoint) ?(max_iters = 1000) ~(path : string)
@@ -425,7 +573,8 @@ let rec build ?(externs : (string * (unit -> Prim_state.t)) list = [])
         List.filter_map
           (function Port p -> Some (id p) | Lit _ -> None)
           (assignment_atoms a);
-      ca_text = Format.asprintf "%a" Printer.pp_assignment a;
+      ca_text = lazy (Format.asprintf "%a" Printer.pp_assignment a);
+      ca_ast = a;
     }
   in
   let prims = ref [] in
@@ -554,6 +703,7 @@ let rec build ?(externs : (string * (unit -> Prim_state.t)) list = [])
       i_group_go = group_go;
       i_group_done = group_done;
       i_input_slots = input_slots;
+      i_go_slot = List.assoc "go" input_slots;
       i_output_slots = output_slots;
       i_port_ids = port_ids;
       i_structured = comp.control <> Empty;
@@ -567,12 +717,14 @@ let rec build ?(externs : (string * (unit -> Prim_state.t)) list = [])
       i_gen = 0;
       i_drv_gen = Array.make (max slots 1) 0;
       i_drv_val = Array.copy zeros;
-      i_drv_text = Array.make (max slots 1) "";
+      i_drv_text = Array.make (max slots 1) (lazy "");
       i_sched = None;
+      i_compiled = None;
     }
   in
   (match engine with
   | `Scheduled -> inst.i_sched <- Some (build_sched inst)
+  | `Compiled -> inst.i_compiled <- Some (compile_instance inst)
   | `Fixpoint -> ());
   inst
 
@@ -679,74 +831,425 @@ and build_sched inst : sstate =
       s_prim_node = prim_node;
       s_child_node = child_node;
       s_group_nodes = group_nodes;
+      s_entry_valid = false;
+      s_entry_ctrl = CDone;
+      s_entry_running = false;
+      s_entry_go = false;
     }
   in
   Sched.mark_all st.s_graph;
   st
 
+(* AOT compilation: freeze the scheduled engine's levelized graph into
+   one specialized closure per node (see Compiled for the plan shape),
+   then let the same dirty-set scheduler (Sched) drive those closures.
+   The engine keeps everything that makes the scheduled engine sparse —
+   dirty buckets, commit-time invalidation, group-entry diffing — and
+   wins on per-node cost: guards and sources are partially evaluated
+   against the AST (constant guards fold to always/never, constant
+   single-writer assignments fold into the initial env and disappear,
+   comparisons compile to alloc-free int64 compares), primitive port
+   names are resolved to slot thunks/writers once via
+   Prim_state.compile_step, and slot resolution replays the reference
+   scan through prefetched writer cells with an early exit instead of
+   re-walking index arrays. Cyclic SCCs iterate on the worklist under
+   the same divergence budget and message as the scheduled engine, and
+   conflict detection reuses [check_conflicts] gated by the shared
+   suspect count, so error paths stay bit-identical. *)
+and compile_instance inst : cexec =
+  let st = build_sched inst in
+  let env = inst.i_env in
+  let zeros = inst.i_zeros in
+  let nslots = inst.i_slots in
+  let na = Array.length st.s_assigns in
+  (* The single sink for every computed slot value: a change enqueues
+     the slot's readers, exactly like [resolve_slot]'s tail. *)
+  let wr slot v =
+    if not (Bitvec.equal env.(slot) v) then begin
+      env.(slot) <- v;
+      Sched.mark_slot st.s_graph slot
+    end
+  in
+  (* Slots with a non-assignment producer (component input, primitive
+     output, child output or done, go hole). *)
+  let has_producer = Array.make (max nslots 1) false in
+  List.iter (fun (_, s) -> has_producer.(s) <- true) inst.i_input_slots;
+  Array.iter
+    (fun pi ->
+      List.iter (fun (_, s) -> has_producer.(s) <- true) pi.pi_outputs)
+    inst.i_prims;
+  Array.iter
+    (fun (_, ch) ->
+      Array.iter (fun (_, ps) -> has_producer.(ps) <- true) ch.c_output_map;
+      has_producer.(ch.c_done_parent_slot) <- true)
+    inst.i_children;
+  Array.iter (fun s -> has_producer.(s) <- true) st.s_group_go_slot;
+  (* Staged per-slot resolvers for slots with assignment writers: the
+     last live writer in static scan order wins, else the producer's
+     base — [resolve_slot]'s scan with the writer records prefetched and
+     an early exit from the back, no allocation. *)
+  let resolvers = Array.make (max nslots 1) (fun () -> ()) in
+  for slot = 0 to nslots - 1 do
+    let ws = st.s_writers.(slot) in
+    if Array.length ws > 0 then begin
+      let sas = Array.map (fun ai -> st.s_assigns.(ai)) ws in
+      let n = Array.length sas in
+      let base =
+        if has_producer.(slot) then fun () -> st.s_base.(slot)
+        else
+          let z = zeros.(slot) in
+          fun () -> z
+      in
+      resolvers.(slot) <-
+        fun () ->
+          let rec last i =
+            if i < 0 then base ()
+            else if sas.(i).sa_live then sas.(i).sa_val
+            else last (i - 1)
+          in
+          wr slot (last (n - 1))
+    end
+  done;
+  (* A non-assignment producer pushed a value: writer-less slots skip
+     the base cell and write the env directly; writer-shadowed slots
+     stage the base and re-resolve ([set_base], staged). *)
+  let produce slot =
+    if Array.length st.s_writers.(slot) = 0 then fun v -> wr slot v
+    else begin
+      let r = resolvers.(slot) in
+      fun v ->
+        if not (Bitvec.equal st.s_base.(slot) v) then begin
+          st.s_base.(slot) <- v;
+          r ()
+        end
+    end
+  in
+  (* Partial evaluation of guards and sources against the AST. Constants
+     fold at build time; comparisons between same-width atoms compile to
+     alloc-free int64 compares (bitvec payloads are masked, so unsigned
+     comparison of the raw values is exact). Width mismatches bail out
+     to the generic closure to preserve the runtime Width_error. *)
+  let fold_guards = ref 0 and fold_consts = ref 0 and elided = ref 0 in
+  let notes = Array.make (max na 1) "" in
+  let slot_of p = Hashtbl.find inst.i_port_ids p in
+  let stage_src = function
+    | Lit v ->
+        incr fold_consts;
+        `Const v
+    | Port p ->
+        let i = slot_of p in
+        `Slot i
+  in
+  let stage_guard g =
+    let exception Bail in
+    let atom = function
+      | Lit v -> `Const v
+      | Port p -> `Slot (slot_of p)
+    in
+    let width = function
+      | `Const v -> Bitvec.width v
+      | `Slot i -> Bitvec.width zeros.(i)
+    in
+    let cmp_i64 = function
+      | Eq -> fun x y -> Int64.equal x y
+      | Neq -> fun x y -> not (Int64.equal x y)
+      | Lt -> fun x y -> Int64.unsigned_compare x y < 0
+      | Gt -> fun x y -> Int64.unsigned_compare x y > 0
+      | Le -> fun x y -> Int64.unsigned_compare x y <= 0
+      | Ge -> fun x y -> Int64.unsigned_compare x y >= 0
+    in
+    let rec go = function
+      | True -> `Const true
+      | Atom a -> (
+          match atom a with
+          | `Const v -> `Const (Bitvec.is_true v)
+          | `Slot i -> `Fun (fun () -> Bitvec.is_true env.(i)))
+      | Cmp (op, a, b) -> (
+          let sa = atom a and sb = atom b in
+          if width sa <> width sb then raise Bail;
+          let cmp = cmp_i64 op in
+          match (sa, sb) with
+          | `Const x, `Const y ->
+              `Const (cmp (Bitvec.to_int64 x) (Bitvec.to_int64 y))
+          | `Const x, `Slot j ->
+              let xv = Bitvec.to_int64 x in
+              `Fun (fun () -> cmp xv (Bitvec.to_int64 env.(j)))
+          | `Slot i, `Const y ->
+              let yv = Bitvec.to_int64 y in
+              `Fun (fun () -> cmp (Bitvec.to_int64 env.(i)) yv)
+          | `Slot i, `Slot j ->
+              `Fun
+                (fun () ->
+                  cmp (Bitvec.to_int64 env.(i)) (Bitvec.to_int64 env.(j))))
+      | And (g1, g2) -> (
+          match (go g1, go g2) with
+          | `Const false, _ | _, `Const false -> `Const false
+          | `Const true, s | s, `Const true -> s
+          | `Fun f1, `Fun f2 -> `Fun (fun () -> f1 () && f2 ()))
+      | Or (g1, g2) -> (
+          match (go g1, go g2) with
+          | `Const true, _ | _, `Const true -> `Const true
+          | `Const false, s | s, `Const false -> s
+          | `Fun f1, `Fun f2 -> `Fun (fun () -> f1 () || f2 ()))
+      | Not g -> (
+          match go g with
+          | `Const b -> `Const (not b)
+          | `Fun f -> `Fun (fun () -> not (f ())))
+    in
+    match go g with
+    | `Const b ->
+        incr fold_guards;
+        `Const b
+    | s -> s
+  in
+  let build_assign ai =
+    let sa = st.s_assigns.(ai) in
+    let ca = sa.sa_ca in
+    let dst = ca.ca_dst in
+    let guard =
+      (* A width-mismatched comparison must keep raising Width_error at
+         run time: fall back to the generic compiled guard. *)
+      let generic () = `Fun (fun () -> ca.ca_guard env) in
+      match ca.ca_ast.guard with
+      | True -> `Const true
+      | g -> ( try stage_guard g with _ -> generic ())
+    in
+    let src =
+      match stage_src ca.ca_ast.src with
+      | `Const v -> fun () -> v
+      | `Slot i -> fun () -> env.(i)
+    in
+    (* Group gating, staged against the entry view [refresh_entries]
+       maintains — the same predicate as [eval_sassign]. *)
+    let sched =
+      if sa.sa_group < 0 then None
+      else if sa.sa_data then begin
+        let gi = sa.sa_group in
+        let done_slot = st.s_group_done.(gi) in
+        Some
+          (fun () ->
+            let entries = st.s_entries.(gi) in
+            Array.length entries > 0
+            && (Array.exists not entries
+               || not (Bitvec.is_true env.(done_slot))))
+      end
+      else
+        let gi = sa.sa_group in
+        Some (fun () -> Array.length st.s_entries.(gi) > 0)
+    in
+    let note s = notes.(ai) <- notes.(ai) ^ s in
+    (match guard with
+    | `Const true when ca.ca_ast.guard <> True -> note "  [guard: always]"
+    | `Const false -> note "  [guard: never]"
+    | _ -> ());
+    (match ca.ca_ast.src with Lit _ -> note "  [const src]" | _ -> ());
+    if Array.length st.s_writers.(dst) = 1 && not has_producer.(dst) then begin
+      (* Single writer, no producer: the slot's value is a pure
+         function of drive, so write the env directly. *)
+      let z = zeros.(dst) in
+      match (sched, guard) with
+      | _, `Const false ->
+          (* Never drives; env.(dst) stays at its zero initial. *)
+          incr elided;
+          note "  [elided]";
+          fun () -> ()
+      | None, `Const true -> (
+          match ca.ca_ast.src with
+          | Lit v ->
+              (* Constant continuous assignment: fold it into the
+                 initial env and drop the node from the hot path. *)
+              env.(dst) <- v;
+              incr elided;
+              note "  [folded]";
+              fun () -> ()
+          | _ -> fun () -> wr dst (src ()))
+      | None, `Fun g -> (fun () -> wr dst (if g () then src () else z))
+      | Some on, `Const true -> (fun () -> wr dst (if on () then src () else z))
+      | Some on, `Fun g ->
+          fun () -> wr dst (if on () && g () then src () else z)
+    end
+    else begin
+      (* Shared slot: maintain this writer's live/value cell — the
+         sstate's own record, so live transitions, the suspect count and
+         hence the conflict check behave exactly like the scheduled
+         engine — and re-resolve the slot. *)
+      let resolve = resolvers.(dst) in
+      let drive =
+        match (sched, guard) with
+        | None, `Const b -> fun () -> b
+        | None, `Fun g -> g
+        | Some on, `Const true -> on
+        | Some _, `Const false -> fun () -> false
+        | Some on, `Fun g -> fun () -> on () && g ()
+      in
+      fun () ->
+        if drive () then begin
+          let v = src () in
+          if (not sa.sa_live) || not (Bitvec.equal v sa.sa_val) then begin
+            if not sa.sa_live then live_transition st sa true;
+            sa.sa_live <- true;
+            sa.sa_val <- v;
+            resolve ()
+          end
+        end
+        else if sa.sa_live then begin
+          live_transition st sa false;
+          sa.sa_live <- false;
+          resolve ()
+        end
+    end
+  in
+  let one1 = Bitvec.one 1 and zero1 = Bitvec.zero 1 in
+  let build_go gi =
+    (* Mirrors [eval_go]: one write per active entry in actives order,
+       so the last entry's liveness wins. *)
+    let w = produce st.s_group_go_slot.(gi) in
+    let done_slot = st.s_group_done.(gi) in
+    fun () ->
+      let entries = st.s_entries.(gi) in
+      w
+        (if Array.length entries = 0 then zero1
+         else if
+           (not entries.(Array.length entries - 1))
+           || not (Bitvec.is_true env.(done_slot))
+         then one1
+         else zero1)
+  in
+  let stage_read pi name =
+    match List.assoc_opt name pi.pi_inputs with
+    | Some slot -> fun () -> env.(slot)
+    | None ->
+        raise (Prim_state.Sim_error ("unknown primitive input " ^ name))
+  in
+  let build_prim p =
+    let pi = inst.i_prims.(p) in
+    let writers = List.map (fun (q, slot) -> (q, produce slot)) pi.pi_outputs in
+    Prim_state.compile_step pi.pi_state ~read:(stage_read pi)
+      ~write:(fun name -> List.assoc_opt name writers)
+  in
+  let build_child c =
+    let _, ch = inst.i_children.(c) in
+    (* A structured child's [done] is registered ([i_done_reg]), not its
+       combinational [done] output — stage only the registered writer for
+       that slot, or the transient internal value would keep re-marking
+       the slot's readers every settle. *)
+    let outs =
+      Array.to_list ch.c_output_map
+      |> List.filter_map (fun (cslot, pslot) ->
+             if ch.c_inst.i_structured && pslot = ch.c_done_parent_slot then
+               None
+             else Some (cslot, produce pslot))
+      |> Array.of_list
+    in
+    let done_w =
+      if ch.c_inst.i_structured then Some (produce ch.c_done_parent_slot)
+      else None
+    in
+    (* Flat index arrays so the closure's staging loops allocate
+       nothing per call. *)
+    let in_pslots = Array.map fst ch.c_input_map in
+    let out_cslots = Array.map fst outs in
+    let out_ws = Array.map snd outs in
+    let buf = ch.c_buf in
+    fun () ->
+      for i = 0 to Array.length in_pslots - 1 do
+        buf.(i) <- env.(in_pslots.(i))
+      done;
+      eval_compiled ch.c_inst buf;
+      let cenv = ch.c_inst.i_env in
+      for i = 0 to Array.length out_ws - 1 do
+        out_ws.(i) cenv.(out_cslots.(i))
+      done;
+      match done_w with
+      | Some w -> w (if ch.c_inst.i_done_reg then one1 else zero1)
+      | None -> ()
+  in
+  let closure_of k =
+    match st.s_nodes.(k) with
+    | NPrim p -> build_prim p
+    | NChild c -> build_child c
+    | NGo gi -> build_go gi
+    | NAssign ai -> build_assign ai
+  in
+  let closures = Array.init (Sched.node_count st.s_graph) closure_of in
+  let proto_str cell =
+    match List.find_opt (fun c -> String.equal c.cell_name cell) inst.i_comp.cells with
+    | Some { cell_proto = Prim (n, ps); _ } ->
+        Printf.sprintf "%s(%s)" n (String.concat "," (List.map string_of_int ps))
+    | Some { cell_proto = Comp n; _ } -> n
+    | None -> "?"
+  in
+  let label k =
+    match st.s_nodes.(k) with
+    | NPrim p ->
+        let pi = inst.i_prims.(p) in
+        Printf.sprintf "prim %s : %s" pi.pi_cell (proto_str pi.pi_cell)
+    | NChild c ->
+        let name, ch = inst.i_children.(c) in
+        Printf.sprintf "child %s : %s" name ch.c_inst.i_comp.comp_name
+    | NGo gi -> Printf.sprintf "go %s" inst.i_groups.(gi)
+    | NAssign ai ->
+        let sa = st.s_assigns.(ai) in
+        let where =
+          if sa.sa_group < 0 then "continuous"
+          else
+            Printf.sprintf "%s%s" inst.i_groups.(sa.sa_group)
+              (if sa.sa_data then "" else " done")
+        in
+        Printf.sprintf "assign [%s] %s%s" where
+          (Lazy.force sa.sa_ca.ca_text)
+          notes.(ai)
+  in
+  {
+    x_sched = st;
+    x_eval = (fun k -> closures.(k) ());
+    x_commits =
+      Array.map
+        (fun pi -> Prim_state.compile_commit pi.pi_state ~read:(stage_read pi))
+        inst.i_prims;
+    x_inputs =
+      Array.of_list
+        (List.map (fun (_, slot) -> produce slot) inst.i_input_slots);
+    x_plan =
+      lazy
+        (Printf.sprintf
+           "component %s: %d guards folded, %d constant sources, %d nodes \
+            elided\n%s"
+           inst.i_comp.comp_name !fold_guards !fold_consts !elided
+           (Compiled.render ~label (Compiled.plan st.s_graph)));
+  }
+
+(* One settle under the compiled engine: stage the inputs, refresh the
+   per-group entry view (diffed, re-marking changed groups' nodes), then
+   let the shared dirty-set scheduler drive the specialized closures in
+   level order. Cyclic components iterate on the worklist under the same
+   divergence budget and error message as the scheduled engine. *)
+and eval_compiled inst (inputs : Bitvec.t array) =
+  let cs =
+    match inst.i_compiled with Some cs -> cs | None -> assert false
+  in
+  let st = cs.x_sched in
+  let xi = cs.x_inputs in
+  for i = 0 to Array.length xi - 1 do
+    xi.(i) inputs.(i)
+  done;
+  refresh_entries inst st;
+  let touched =
+    try Sched.run st.s_graph ~eval:cs.x_eval ~max_passes:inst.i_max_iters
+    with Sched.Diverged ->
+      raise
+        (Unstable_msg
+           (Printf.sprintf "component %s: combinational fixpoint diverged"
+              inst.i_comp.comp_name))
+  in
+  inst.i_iters_cycle <- inst.i_iters_cycle + touched;
+  if Tele.Runtime.on () then
+    Tele.Metrics.observe dirty_set_size (float_of_int touched);
+  if st.s_suspects > 0 then check_conflicts inst
+
 (* ------------------------------------------------------------------ *)
 (* Combinational evaluation                                            *)
 (* ------------------------------------------------------------------ *)
-
-let prim_reader env (pi : prim_inst) name =
-  match List.assoc_opt name pi.pi_inputs with
-  | Some slot -> env.(slot)
-  | None ->
-      (* Reading an output during commit (never happens) or a missing port. *)
-      raise (Prim_state.Sim_error ("unknown primitive input " ^ name))
-
-let go_slot inst = List.assoc "go" inst.i_input_slots
-
-(* Groups active in the current cycle, given the lifecycle state. If the
-   instance is idle but go is high, control starts this very cycle. *)
-let effective_ctrl inst ~go =
-  if not inst.i_structured then CDone
-  else if inst.i_running then inst.i_ctrl
-  else if go then cstart ~emit:no_emit inst.i_ictrl
-  else CDone
-
-let active_groups inst ~go = cactive [] (effective_ctrl inst ~go)
-
-(* Conflict detection at the settled point: two active assignments driving
-   the same port with different values is undefined behaviour. Shared by
-   both engines so the diagnostics are bit-identical. The driver table is a
-   generation-stamped per-instance scratch array — bumping [i_gen] clears
-   it in O(1). *)
-let check_conflicts inst =
-  let env = inst.i_env in
-  inst.i_gen <- inst.i_gen + 1;
-  let gen = inst.i_gen in
-  let check ca =
-    if ca.ca_guard env then begin
-      let v = ca.ca_src env in
-      let dst = ca.ca_dst in
-      if inst.i_drv_gen.(dst) = gen then begin
-        if not (Bitvec.equal v inst.i_drv_val.(dst)) then
-          raise
-            (Conflict_msg
-               (Printf.sprintf
-                  "component %s: conflicting drivers in the same cycle:\n  %s\n  %s"
-                  inst.i_comp.comp_name inst.i_drv_text.(dst) ca.ca_text))
-      end
-      else begin
-        inst.i_drv_gen.(dst) <- gen;
-        inst.i_drv_val.(dst) <- v;
-        inst.i_drv_text.(dst) <- ca.ca_text
-      end
-    end
-  in
-  let go = Bitvec.is_true env.(go_slot inst) in
-  Array.iter check inst.i_continuous;
-  List.iter
-    (fun (g, gated) ->
-      let dones, datas = Hashtbl.find inst.i_group_assigns g in
-      Array.iter check dones;
-      let live =
-        (not gated)
-        || not (Bitvec.is_true env.(Hashtbl.find inst.i_group_done g))
-      in
-      if live then Array.iter check datas)
-    (active_groups inst ~go)
 
 let rec eval_comb inst (inputs : Bitvec.t array) =
   (* [inputs] is indexed in the order of [i_input_slots]. *)
@@ -867,22 +1370,6 @@ let set_base inst st slot v =
     resolve_slot inst st slot
   end
 
-(* Conflicts need >= 2 simultaneously-live writers on one slot, so a
-   per-slot live count (maintained only for statically multi-written
-   slots) tells us when the exact — and comparatively expensive — settled
-   check can be skipped. *)
-let live_transition st sa becoming =
-  let dst = sa.sa_ca.ca_dst in
-  if Array.length st.s_writers.(dst) > 1 then begin
-    let c =
-      if becoming then st.s_live_count.(dst) + 1
-      else st.s_live_count.(dst) - 1
-    in
-    st.s_live_count.(dst) <- c;
-    if becoming && c = 2 then st.s_suspects <- st.s_suspects + 1
-    else if (not becoming) && c = 1 then st.s_suspects <- st.s_suspects - 1
-  end
-
 let eval_sassign inst st ai =
   let sa = st.s_assigns.(ai) in
   let env = inst.i_env in
@@ -934,27 +1421,6 @@ let eval_sprim inst st p =
       | None -> ())
     outs
 
-(* Recompute which groups the control schedules this cycle and diff
-   against the last settle's view; a changed group has its go node and all
-   its assignment nodes re-marked. Cheap (one walk of the control state),
-   so it runs unconditionally at the top of every settle. *)
-let refresh_entries inst st =
-  let ngroups = Array.length inst.i_groups in
-  let go = Bitvec.is_true inst.i_env.(go_slot inst) in
-  let fresh = Array.make (max ngroups 1) [] in
-  List.iter
-    (fun (g, gated) ->
-      let gi = Hashtbl.find st.s_group_idx g in
-      fresh.(gi) <- gated :: fresh.(gi))
-    (active_groups inst ~go);
-  for gi = 0 to ngroups - 1 do
-    let ne = Array.of_list (List.rev fresh.(gi)) in
-    if ne <> st.s_entries.(gi) then begin
-      st.s_entries.(gi) <- ne;
-      Array.iter (Sched.mark_node st.s_graph) st.s_group_nodes.(gi)
-    end
-  done
-
 let rec eval_scheduled inst (inputs : Bitvec.t array) =
   let st =
     match inst.i_sched with Some st -> st | None -> assert false
@@ -1005,19 +1471,38 @@ let rec commit ~now ~csink inst =
   inst.i_iters_cycle <- 0;
   let env = inst.i_env in
   (match inst.i_sched with
-  | None ->
-      (* Primitive state updates. *)
-      Array.iter
-        (fun pi ->
-          ignore (Prim_state.commit pi.pi_state ~read:(prim_reader env pi)))
-        inst.i_prims;
-      (* Child updates (their env is consistent with the converged parent
-         env). *)
-      Array.iter
-        (fun (_, ch) ->
-          commit ~now ~csink ch.c_inst;
-          ch.c_buf_valid <- false)
-        inst.i_children
+  | None -> (
+      match inst.i_compiled with
+      | Some cs ->
+          (* Staged clock edges with the same commit-time invalidation
+             as the scheduled engine: re-mark exactly the primitives
+             whose latched state changed, and every child (whose
+             internal control may advance with stable inputs). *)
+          let st = cs.x_sched in
+          let xc = cs.x_commits in
+          for p = 0 to Array.length xc - 1 do
+            if xc.(p) () then Sched.mark_node st.s_graph st.s_prim_node.(p)
+          done;
+          let chs = inst.i_children in
+          for c = 0 to Array.length chs - 1 do
+            let _, ch = chs.(c) in
+            commit ~now ~csink ch.c_inst;
+            Sched.mark_node st.s_graph st.s_child_node.(c)
+          done
+      | None ->
+          (* Primitive state updates. *)
+          Array.iter
+            (fun pi ->
+              ignore
+                (Prim_state.commit pi.pi_state ~read:(prim_reader env pi)))
+            inst.i_prims;
+          (* Child updates (their env is consistent with the converged
+             parent env). *)
+          Array.iter
+            (fun (_, ch) ->
+              commit ~now ~csink ch.c_inst;
+              ch.c_buf_valid <- false)
+            inst.i_children)
   | Some st ->
       (* Commit-time invalidation: re-mark exactly the nodes whose outputs
          can differ next cycle — primitives that latched state, and every
@@ -1032,13 +1517,20 @@ let rec commit ~now ~csink inst =
           commit ~now ~csink ch.c_inst;
           Sched.mark_node st.s_graph st.s_child_node.(c))
         inst.i_children);
-  (* Control lifecycle. *)
+  (* Control lifecycle. The emit closures are only materialized when a
+     control sink is attached — on the hot no-sink path every instance
+     would otherwise allocate them at every clock edge. *)
   if inst.i_structured then begin
-    let emit_at cycle =
+    (* Control that starts because [go] rose was already active during this
+       cycle (effective_ctrl runs it speculatively), so its enters carry
+       [now]. A node reached by advancement only begins executing next
+       cycle: its enter is stamped [now + 1], while the exits and branch
+       resolutions that caused the advancement observe this cycle. *)
+    let emit_start, emit_adv =
       match csink with
-      | None -> no_emit
+      | None -> (no_emit, no_emit)
       | Some f ->
-          fun phase id ->
+          let emit_at cycle phase id =
             f
               {
                 ce_cycle = cycle;
@@ -1046,18 +1538,14 @@ let rec commit ~now ~csink inst =
                 ce_node = id;
                 ce_phase = phase;
               }
-    in
-    (* Control that starts because [go] rose was already active during this
-       cycle (effective_ctrl runs it speculatively), so its enters carry
-       [now]. A node reached by advancement only begins executing next
-       cycle: its enter is stamped [now + 1], while the exits and branch
-       resolutions that caused the advancement observe this cycle. *)
-    let emit_start = emit_at now in
-    let emit_next = emit_at (now + 1) in
-    let emit_adv phase id =
-      match phase with
-      | Ctrl_enter -> emit_next phase id
-      | Ctrl_exit | Ctrl_branch _ -> emit_start phase id
+          in
+          let emit_start = emit_at now in
+          let emit_next = emit_at (now + 1) in
+          ( emit_start,
+            fun phase id ->
+              match phase with
+              | Ctrl_enter -> emit_next phase id
+              | Ctrl_exit | Ctrl_branch _ -> emit_start phase id )
     in
     let go = Bitvec.is_true env.(go_slot inst) in
     if (not inst.i_running) && go then begin
@@ -1363,13 +1851,35 @@ let read_output t name =
   | None -> ir_error "no output port %s" name
 
 let engine t : engine =
-  match t.root.i_sched with Some _ -> `Scheduled | None -> `Fixpoint
+  match (t.root.i_sched, t.root.i_compiled) with
+  | Some _, _ -> `Scheduled
+  | None, Some _ -> `Compiled
+  | None, None -> `Fixpoint
+
+(* The rendered level plans of the whole instance tree (compiled engine
+   only) — the golden-snapshot view of what was specialized. *)
+let compiled_plan t =
+  match t.root.i_compiled with
+  | None -> None
+  | Some _ ->
+      let buf = Buffer.create 512 in
+      let rec walk inst =
+        (match inst.i_compiled with
+        | Some cs -> Buffer.add_string buf (Lazy.force cs.x_plan)
+        | None -> ());
+        Array.iter (fun (_, ch) -> walk ch.c_inst) inst.i_children
+      in
+      walk t.root;
+      Some (Buffer.contents buf)
 
 let cycle t =
   (try
      match t.root.i_sched with
-     | None -> eval_comb t.root t.inputs
      | Some _ -> eval_scheduled t.root t.inputs
+     | None -> (
+         match t.root.i_compiled with
+         | Some _ -> eval_compiled t.root t.inputs
+         | None -> eval_comb t.root t.inputs)
    with
   | Conflict_msg message ->
       raise (Conflict { cycle = t.cycles; message; snapshot = status t })
@@ -1405,7 +1915,10 @@ let run ?(max_cycles = 5_000_000) t =
   Tele.Trace.with_span ~cat:"stage" "sim" @@ fun () ->
   if Tele.Runtime.on () then
     Tele.Trace.add_tag "engine"
-      (match engine t with `Fixpoint -> "fixpoint" | `Scheduled -> "scheduled");
+      (match engine t with
+      | `Fixpoint -> "fixpoint"
+      | `Scheduled -> "scheduled"
+      | `Compiled -> "compiled");
   set_input t "go" (Bitvec.one 1);
   let cycles = ref 0 in
   while (not t.finished) && !cycles < max_cycles do
@@ -1449,9 +1962,10 @@ let prim_state_at (inst, p) = inst.i_prims.(p).pi_state
 (* A test-bench write changed primitive state behind the scheduler's back;
    mark the primitive so the next settle re-reads its outputs. *)
 let touch_prim (inst, p) =
-  match inst.i_sched with
-  | None -> ()
-  | Some st -> Sched.mark_node st.s_graph st.s_prim_node.(p)
+  match (inst.i_sched, inst.i_compiled) with
+  | Some st, _ | None, Some { x_sched = st; _ } ->
+      Sched.mark_node st.s_graph st.s_prim_node.(p)
+  | None, None -> ()  (* the fixpoint engine re-reads every output *)
 
 let read_register t path =
   Prim_state.get_register (prim_state_at (resolve_prim t.root path))

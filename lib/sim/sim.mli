@@ -16,11 +16,11 @@
     control program when its [go] input rises and presents [done] for one
     cycle when it finishes.
 
-    Two interchangeable evaluation {b engines} implement the settle:
+    Three interchangeable evaluation {b engines} implement the settle:
 
     - [`Fixpoint] (the default) — the reference engine: dense Jacobi
       iteration re-evaluating every assignment and primitive until the full
-      environment stops changing.
+      environment stops changing. The semantic oracle.
     - [`Scheduled] — a static slot-dependency graph is built per instance at
       construction time, condensed into strongly connected components and
       levelized; each settle evaluates only {e dirty} nodes in level order,
@@ -28,16 +28,23 @@
       re-marks exactly the primitives whose committed state changed. A
       settled cycle costs O(nodes touched) instead of
       O(iterations x all slots).
+    - [`Compiled] — the scheduled engine's levelized graph is compiled
+      ahead of time into one specialized OCaml closure per node (guards
+      partially evaluated, constant assignments folded, primitive port
+      names resolved to slots, no dispatch) and each settle runs the
+      level plan straight through; cyclic components fall back to
+      sweeping their members to a local fixpoint. See {!compiled_plan}
+      for the emitted plan.
 
-    Both engines are observably equivalent: same cycle counts, same
+    All engines are observably equivalent: same cycle counts, same
     {!Conflict}/{!Unstable} errors at the same cycle, same event streams
-    (differentially fuzz-tested). *)
+    (differentially fuzz-tested pairwise across all three). *)
 
 open Calyx
 
 type t
 
-type engine = [ `Fixpoint | `Scheduled ]
+type engine = [ `Fixpoint | `Scheduled | `Compiled ]
 
 exception Timeout of { budget : int; snapshot : string }
 (** Raised by {!run} when the design does not finish within the cycle
@@ -70,10 +77,17 @@ val create :
     evaluation engine (default [`Fixpoint]). [max_fixpoint_iters] bounds
     the settle work per cycle before {!Unstable} is raised: fixpoint
     iterations under [`Fixpoint], worklist passes per cyclic-component
-    member under [`Scheduled] (default 1000). *)
+    member under [`Scheduled], sweeps per cyclic component under
+    [`Compiled] (default 1000). *)
 
 val engine : t -> engine
 (** Which evaluation engine this simulation was built with. *)
+
+val compiled_plan : t -> string option
+(** The rendered level plans of the instance tree — which closures the
+    [`Compiled] engine emitted, per level, with partial-evaluation
+    annotations. [None] unless built with [`Compiled]. Snapshot-tested
+    so codegen changes show up as reviewable diffs. *)
 
 val run : ?max_cycles:int -> t -> int
 (** Drive [go] high and simulate until the design signals [done]; returns

@@ -31,6 +31,13 @@ let seed_arb ?(bound = 1_000_000) stream =
   let st = Random.State.make [| derive stream |] in
   QCheck.make ~print:(print_seed stream) (fun _ -> Random.State.int st bound)
 
+(* A deterministic parameter stream for one drawn program seed: tests
+   needing more randomness than the seed itself (matrix entries, bit
+   widths, cut points) derive it from here — never from QCheck's own
+   RNG or an ad-hoc [Random.State.make] — so the whole case replays
+   from the seed the failure message printed. *)
+let state_of seed = Random.State.make [| seed |]
+
 (* Shrinkable program specs (see Calyx.Fuzz_gen): failures are minimized
    by QCheck through the structural shrinker and reported as the spec
    term, which [Calyx.Fuzz_gen.build] turns back into the program. *)

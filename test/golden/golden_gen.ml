@@ -1,9 +1,10 @@
 (* Deterministic renderer behind the golden-file snapshot tests: prints
    the structured program (the `calyx compile --emit calyx` view), the
-   fully lowered SystemVerilog, the timing report, the scrubbed Chrome
-   trace of a whole toolchain run, or the OpenMetrics exposition after
-   one. The dune rules diff its output against checked-in .expected
-   files; `dune promote` accepts intentional changes. *)
+   fully lowered SystemVerilog, the timing report, the compiled engine's
+   emitted level plan, the scrubbed Chrome trace of a whole toolchain
+   run, or the OpenMetrics exposition after one. The dune rules diff its
+   output against checked-in .expected files; `dune promote` accepts
+   intentional changes. *)
 
 module Tele = Calyx_telemetry
 
@@ -17,7 +18,7 @@ let parse file =
   else Calyx.Parser.parse_file file
 
 (* One full telemetry-enabled toolchain run: parse, compile, simulate
-   under both engines, analyze timing, emit. Everything the instruments
+   under all three engines, analyze timing, emit. Everything the instruments
    and spans record for it is deterministic — cycle counts, pass lists,
    dirty-set sizes — which is what makes these two modes golden-testable
    (wall-clock fields are scrubbed from the trace and never exported by
@@ -31,7 +32,7 @@ let pipeline_run file =
     (fun engine ->
       let sim = Calyx_sim.Sim.create ~engine lowered in
       ignore (Calyx_sim.Sim.run ~max_cycles:100_000 sim))
-    [ `Fixpoint; `Scheduled ];
+    [ `Fixpoint; `Scheduled; `Compiled ];
   ignore (Calyx_synth.Timing.context_timing lowered);
   ignore (Calyx_verilog.Verilog.emit lowered)
 
@@ -61,6 +62,17 @@ let () =
       let lowered = Calyx.Pipelines.compile ctx in
       let report = Calyx_synth.Timing.context_timing ~paths:3 lowered in
       print_endline (Calyx_synth.Timing.to_json ~attribute_ctx:ctx report)
+  | [| _; "plan"; file |] -> (
+      (* The compiled engine's codegen, as a reviewable snapshot: the
+         level plan it froze for the fully lowered program, with the
+         partial-evaluation annotations. *)
+      let sim =
+        Calyx_sim.Sim.create ~engine:`Compiled
+          (Calyx.Pipelines.compile (parse file))
+      in
+      match Calyx_sim.Sim.compiled_plan sim with
+      | Some plan -> print_string plan
+      | None -> failwith "compiled engine produced no plan")
   | [| _; "trace"; file |] ->
       pipeline_run file;
       print_string (Tele.Trace.to_chrome ~scrub:true ())
@@ -68,5 +80,6 @@ let () =
       pipeline_run file;
       print_string (Tele.Metrics.to_openmetrics ~names:instrument_names ())
   | _ ->
-      prerr_endline "usage: golden_gen (print|verilog|timing|trace|metrics) FILE";
+      prerr_endline
+        "usage: golden_gen (print|verilog|timing|plan|trace|metrics) FILE";
       exit 2

@@ -73,7 +73,7 @@ let test_pool_failure () =
            (List.init 40 Fun.id)))
 
 (* ------------------------------------------------------------------ *)
-(* Determinism stress: jobs 1 vs jobs N vs cached-warm, both engines   *)
+(* Determinism stress: jobs 1 vs jobs N vs cached-warm, all engines    *)
 (* ------------------------------------------------------------------ *)
 
 (* The full corpus: every example source, every PolyBench kernel, a
@@ -314,6 +314,47 @@ let test_schema_drift_evicted () =
       Alcotest.(check int) "fresh blob stored" 2 (Cache.stats c).Cache.stores
   | _ -> Alcotest.fail "expected one result"
 
+(* The engine is a key component: the same source under the three
+   evaluation engines occupies three distinct cache slots, so a result
+   computed by one engine is never served as another's. The outcomes
+   themselves must still agree (the engines are observably equal), which
+   is exactly why the key — not the bytes — must separate them. *)
+let test_engine_key_separation () =
+  let job engine = Job.make ~engine (Job.Fuzz { seed = 11 }) in
+  let key engine =
+    let j = job engine in
+    Cache.key ~source:(Job.key_source j)
+      ~pipeline:(Calyx.Pipelines.id j.Job.config)
+      ~engine:(Job.engine_name j)
+  in
+  let kf = key `Fixpoint and ks = key `Scheduled and kc = key `Compiled in
+  Alcotest.(check bool)
+    "three engines, three keys" true
+    (kf <> ks && ks <> kc && kf <> kc);
+  with_temp_dir "farm_engines" @@ fun dir ->
+  let run engine = Farm.run ~jobs:1 ~cache:(Cache.open_dir dir) [ job engine ] in
+  let s1 = run `Scheduled in
+  let c1 = run `Compiled in
+  Alcotest.(check int) "compiled run misses the scheduled entry" 0 c1.Farm.hits;
+  Alcotest.(check int) "compiled outcome stored separately" 1 c1.Farm.stores;
+  let c2 = run `Compiled in
+  Alcotest.(check int) "compiled warm run hits" 1 c2.Farm.hits;
+  Alcotest.(check (list string))
+    "warm compiled outcome byte-identical" (outcome_bytes c1)
+    (outcome_bytes c2);
+  (* The engine field itself differs by design; everything observable —
+     cycle count, final registers and memories — must agree. *)
+  let observable (s : Farm.summary) =
+    List.map
+      (fun r ->
+        let o = r.Farm.outcome in
+        (o.Job.o_ok, o.Job.o_cycles, o.Job.o_registers, o.Job.o_memories))
+      s.Farm.results
+  in
+  Alcotest.(check bool)
+    "engines observably agree" true
+    (observable s1 = observable c1)
+
 (* Tool version is a key component: a cache written by a different
    toolchain version never serves entries to this one. *)
 let test_tool_version_in_key () =
@@ -381,6 +422,8 @@ let () =
             (check_determinism `Scheduled);
           Alcotest.test_case "fixpoint engine, full corpus" `Slow
             (check_determinism `Fixpoint);
+          Alcotest.test_case "compiled engine, full corpus" `Slow
+            (check_determinism `Compiled);
           Alcotest.test_case "telemetry neutrality" `Quick
             test_telemetry_neutral;
           Alcotest.test_case "validated outcomes cached" `Quick
@@ -395,6 +438,8 @@ let () =
           QCheck_alcotest.to_alcotest prop_corrupt_blob_rejected;
           Alcotest.test_case "schema drift evicted" `Quick
             test_schema_drift_evicted;
+          Alcotest.test_case "engine key separation" `Quick
+            test_engine_key_separation;
           Alcotest.test_case "key anatomy" `Quick test_tool_version_in_key;
         ] );
       ( "manifest",

@@ -1,9 +1,9 @@
 (* Differential fuzzing: randomly generated Calyx programs executed by the
    reference interpreter (the oracle) must compute identical register state
    when compiled by the full pipeline — across pass configurations. Every
-   program (source and lowered alike) additionally runs under both
-   evaluation engines, which must agree on cycle counts, final registers,
-   and the ordered control-event stream.
+   program (source and lowered alike) additionally runs under all three
+   evaluation engines, which must agree pairwise on cycle counts, final
+   registers, and the ordered control-event stream.
 
    Generated programs are well-formed and race-free by construction:
    - every action group writes its own dedicated register, and groups may
@@ -34,26 +34,43 @@ let run_engine ~engine ctx regs =
   let cycles = Calyx_sim.Sim.run ~max_cycles:400_000 sim in
   (cycles, register_values sim regs, List.rev !events)
 
-(* Engine differential: the scheduled engine must be observably identical
-   to the reference fixpoint engine — same cycle count, same final register
-   state, same ordered control-event stream. *)
+(* Engine differential: the scheduled and compiled engines must be
+   observably identical to the reference fixpoint engine — same cycle
+   count, same final register state, same ordered control-event stream.
+   Every pair is compared (fixpoint is the oracle; the scheduled/compiled
+   pair is checked directly too, so a shared-divergence-from-fixpoint bug
+   cannot mask an inter-engine disagreement). *)
 let check_engines ctx regs =
-  let fc, fr, fe = run_engine ~engine:`Fixpoint ctx regs in
-  let sc, sr, se = run_engine ~engine:`Scheduled ctx regs in
-  if fc <> sc then begin
-    Printf.printf "engine cycle mismatch: fixpoint %d vs scheduled %d\n" fc sc;
-    false
-  end
-  else if fr <> sr then begin
-    print_endline "engine final-register mismatch";
-    false
-  end
-  else if fe <> se then begin
-    Printf.printf "engine ctrl-event mismatch (%d vs %d events)\n"
-      (List.length fe) (List.length se);
-    false
-  end
-  else true
+  let runs =
+    List.map
+      (fun (name, engine) -> (name, run_engine ~engine ctx regs))
+      [
+        ("fixpoint", `Fixpoint);
+        ("scheduled", `Scheduled);
+        ("compiled", `Compiled);
+      ]
+  in
+  let pair (an, (ac, ar, ae)) (bn, (bc, br, be)) =
+    if ac <> bc then begin
+      Printf.printf "engine cycle mismatch: %s %d vs %s %d\n" an ac bn bc;
+      false
+    end
+    else if ar <> br then begin
+      Printf.printf "engine final-register mismatch: %s vs %s\n" an bn;
+      false
+    end
+    else if ae <> be then begin
+      Printf.printf "engine ctrl-event mismatch: %s %d vs %s %d events\n" an
+        (List.length ae) bn (List.length be);
+      false
+    end
+    else true
+  in
+  let rec all_pairs = function
+    | [] -> true
+    | a :: rest -> List.for_all (pair a) rest && all_pairs rest
+  in
+  all_pairs runs
 
 let configs =
   [
@@ -105,9 +122,10 @@ let prop_differential =
 
 (* A wider engine-only sweep (no compilation, so it is cheap): together
    with the fixed-seed sweep and the differential property this exercises
-   well over 500 random programs under both engines per run. *)
+   well over 500 random programs under all three engines per run. *)
 let prop_engines =
-  QCheck.Test.make ~name:"scheduled engine = fixpoint engine" ~count:300
+  QCheck.Test.make ~name:"scheduled/compiled engines = fixpoint engine"
+    ~count:300
     (Fuzz_seed.seed_arb "random-engines")
     (fun seed ->
       let ctx = gen_program seed in

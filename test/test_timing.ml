@@ -211,7 +211,7 @@ let prop_register_cuts =
     ~count:100
     (Fuzz_seed.seed_arb "timing-register-cut")
     (fun seed ->
-      let st = Random.State.make [| seed |] in
+      let st = Fuzz_seed.state_of seed in
       let w = 2 + Random.State.int st 62 in
       let len = 2 + Random.State.int st 5 in
       let cut = Random.State.int st (len - 1) in
